@@ -1,0 +1,220 @@
+"""Ablations: what each design choice buys, measured in isolation.
+
+Not a paper table — these quantify the individual mechanisms the paper
+stacks together, on the same workload the other benches use:
+
+1. **Chunk skipping** (partitioning on vs off) for a drill-down mix;
+2. **Chunk-result caching** (on vs off) for repeated queries;
+3. **Top-k before dictionary lookup** (LIMIT present vs absent on the
+   many-distinct group field);
+4. **Cache eviction policies** (LRU vs 2Q vs ARC) under a hot-set +
+   scan trace, the Section 5 motivation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.helpers import (
+    CHUNK_ROWS,
+    PARTITION_FIELDS,
+    emit_report,
+    mean_ms,
+)
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.storage.cache import make_cache
+from repro.workload.queries import DrillDownConfig, generate_drilldown_sessions
+
+
+def _drilldown_queries(table, n=40):
+    clicks = generate_drilldown_sessions(
+        table,
+        DrillDownConfig(n_sessions=5, clicks_per_session=4, queries_per_click=2),
+    )
+    flat = [sql for batch in clicks for sql in batch]
+    return flat[:n]
+
+
+def test_ablation_skipping(benchmark, table):
+    """Partition-based skipping vs single-chunk full scans.
+
+    The honest metric here is *rows touched*: in the paper's C++
+    substrate scan time dominates, so skipping 85% of rows directly
+    cuts latency. In pure Python the per-chunk fixed overhead (a few
+    numpy calls per chunk) is comparable to scanning a whole small
+    chunk, so with very fine chunking latency gains shrink — we
+    therefore use moderately sized chunks here, assert the work
+    reduction strictly, and require latency to be at least competitive.
+    """
+    partitioned = DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=PARTITION_FIELDS,
+            max_chunk_rows=max(CHUNK_ROWS, table.n_rows // 24),
+            reorder_rows=True,
+            cache_chunk_results=False,
+        ),
+    )
+    full_scan = DataStore.from_table(
+        table, DataStoreOptions(cache_chunk_results=False)
+    )
+    queries = _drilldown_queries(table)
+    for store in (partitioned, full_scan):
+        for sql in queries:
+            store.execute(sql)  # warm: materialize virtual fields
+
+    def run(store):
+        started = time.perf_counter()
+        scanned = total = 0
+        for sql in queries:
+            stats = store.execute(sql).stats
+            scanned += stats.rows_scanned
+            total += stats.rows_total
+        return time.perf_counter() - started, scanned / total
+
+    with_skip, scan_frac = run(partitioned)
+    without, full_frac = run(full_scan)
+
+    benchmark(lambda: partitioned.execute(queries[0]))
+
+    lines = [
+        "Ablation 1 — chunk skipping on the drill-down mix "
+        f"({len(queries)} queries, {partitioned.n_chunks} chunks)",
+        "",
+        f"partitioned (skipping): {1000 * with_skip:8.1f} ms, "
+        f"rows scanned {scan_frac:.1%}",
+        f"single chunk (no skip): {1000 * without:8.1f} ms, "
+        f"rows scanned {full_frac:.1%}",
+        f"work reduction: {full_frac / scan_frac:.1f}x rows",
+        "",
+        "note: in the paper's C++ substrate scan time dominates, so the",
+        "rows saved translate 1:1 into latency; in pure Python per-chunk",
+        "overhead absorbs part of the win at this scale.",
+    ]
+    emit_report("ablation_skipping", lines)
+    # (The single-chunk store can also "skip" when a restriction matches
+    # nothing at all — its row mask is computed and found empty — so
+    # full_frac may be below 1. The partitioned store must still touch
+    # substantially fewer rows.)
+    assert scan_frac < 0.35, f"skipping only reached {scan_frac:.0%} scanned"
+    assert scan_frac < full_frac * 0.75
+    # Latency must at least be competitive despite per-chunk overhead.
+    assert with_skip < without * 1.5
+
+
+def test_ablation_chunk_cache(benchmark, table):
+    """Chunk-result caching for repeated fully-active queries."""
+    def build(cache: bool) -> DataStore:
+        return DataStore.from_table(
+            table,
+            DataStoreOptions(
+                partition_fields=PARTITION_FIELDS,
+                max_chunk_rows=CHUNK_ROWS,
+                reorder_rows=True,
+                cache_chunk_results=cache,
+            ),
+        )
+
+    query = (
+        "SELECT country, COUNT(*) as c, SUM(latency) as s FROM data "
+        "GROUP BY country ORDER BY c DESC LIMIT 10"
+    )
+    cached_store = build(True)
+    uncached_store = build(False)
+    cached_store.execute(query)
+    uncached_store.execute(query)
+
+    def repeat(store, n=10):
+        started = time.perf_counter()
+        for __ in range(n):
+            store.execute(query)
+        return time.perf_counter() - started
+
+    with_cache = repeat(cached_store)
+    without = repeat(uncached_store)
+    stats = cached_store.execute(query).stats
+
+    benchmark(lambda: cached_store.execute(query))
+
+    lines = [
+        "Ablation 2 — chunk-result caching, repeated unrestricted group-by",
+        "",
+        f"with cache:    {1000 * with_cache:8.1f} ms "
+        f"(rows from cache: {stats.cache_fraction:.0%})",
+        f"without cache: {1000 * without:8.1f} ms",
+        f"speedup: {without / with_cache:.2f}x",
+    ]
+    emit_report("ablation_chunk_cache", lines)
+    assert stats.cache_fraction == 1.0
+    assert with_cache < without
+
+
+def test_ablation_topk(benchmark, reorder_store):
+    """The paper's Query 3 trick: look up only the LIMIT k group values."""
+    store = reorder_store
+    with_limit = (
+        "SELECT table_name, COUNT(*) as c FROM data "
+        "GROUP BY table_name ORDER BY c DESC LIMIT 10"
+    )
+    without_limit = (
+        "SELECT table_name, COUNT(*) as c FROM data "
+        "GROUP BY table_name ORDER BY c DESC"
+    )
+    store.execute(with_limit)
+    store.execute(without_limit)
+
+    def timed(sql, n=5):
+        started = time.perf_counter()
+        for __ in range(n):
+            store.execute(sql)
+        return (time.perf_counter() - started) / n
+
+    fast = timed(with_limit)
+    slow = timed(without_limit)
+
+    benchmark(lambda: store.execute(with_limit))
+
+    n_groups = len(store.field("table_name").dictionary)
+    lines = [
+        f"Ablation 3 — top-k before dictionary lookup ({n_groups} groups)",
+        "",
+        f"LIMIT 10 (top-k path):        {1000 * fast:8.2f} ms",
+        f"no LIMIT (materialize all):   {1000 * slow:8.2f} ms",
+        f"speedup: {slow / fast:.1f}x",
+    ]
+    emit_report("ablation_topk", lines)
+    assert fast < slow
+
+
+def test_ablation_cache_policies(benchmark):
+    """LRU vs 2Q vs ARC under a hot set mixed with one-time scans."""
+    import random
+
+    def run_trace(policy: str) -> float:
+        rng = random.Random(11)
+        cache = make_cache(policy, 60)
+        hot = [f"hot-{i}" for i in range(40)]
+        scans = 0
+        for step in range(6000):
+            if step % 50 == 49:
+                for __ in range(120):
+                    scans += 1
+                    key = f"scan-{scans}"
+                    if cache.get(key) is None:
+                        cache.put(key, 1)
+            key = rng.choice(hot)
+            if cache.get(key) is None:
+                cache.put(key, 1)
+        return cache.stats.hit_rate
+
+    rates = {policy: run_trace(policy) for policy in ("lru", "2q", "arc")}
+    benchmark(lambda: run_trace("arc"))
+
+    lines = [
+        "Ablation 4 — cache policies on hot-set + periodic scans",
+        "",
+    ] + [f"{policy:<4}: hit rate {rate:.1%}" for policy, rate in rates.items()]
+    emit_report("ablation_cache_policies", lines)
+
+    assert rates["2q"] > rates["lru"]
+    assert rates["arc"] > rates["lru"]

@@ -1,0 +1,81 @@
+"""Scaling behaviour: import and query cost vs dataset size.
+
+Not a paper table, but the claim behind the title — interactivity at
+"a trillion cells" — rests on both phases scaling linearly: import is
+one partitioning pass plus per-column encoding, and full-scan queries
+are one vectorized pass over the touched columns. This bench imports
+the workload at three sizes and checks that neither phase degrades
+super-linearly, reporting the cells-per-second scan rate the substrate
+reaches (the paper's production system processes ~20-25 billion
+cells/second/query across >1000 machines).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.helpers import PARTITION_FIELDS, emit_report
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.workload.generator import LogsConfig, generate_query_logs
+from repro.workload.queries import QUERY_1
+
+_SCALES = (15_000, 30_000, 60_000)
+
+
+def test_linear_scaling(benchmark):
+    measurements = []
+    for n_rows in _SCALES:
+        table = generate_query_logs(
+            LogsConfig(
+                n_rows=n_rows,
+                n_days=max(14, n_rows // 4000),
+                n_teams=max(8, n_rows // 3000),
+                datasets_per_team=8,
+                seed=2012,
+            )
+        )
+        started = time.perf_counter()
+        store = DataStore.from_table(
+            table,
+            DataStoreOptions(
+                partition_fields=PARTITION_FIELDS,
+                max_chunk_rows=max(256, n_rows // 100),
+                reorder_rows=True,
+                cache_chunk_results=False,
+            ),
+        )
+        import_seconds = time.perf_counter() - started
+        store.execute(QUERY_1)  # warm
+        started = time.perf_counter()
+        repeats = 20
+        for __ in range(repeats):
+            store.execute(QUERY_1)
+        query_seconds = (time.perf_counter() - started) / repeats
+        measurements.append((n_rows, import_seconds, query_seconds, store))
+
+    last_store = measurements[-1][3]
+    benchmark(lambda: last_store.execute(QUERY_1))
+
+    lines = [
+        "Scaling — import and Query 1 latency vs rows",
+        "",
+        f"{'rows':>8} {'import s':>9} {'rows/s':>10} {'Q1 ms':>8} "
+        f"{'cells/s (M)':>12}",
+    ]
+    for n_rows, import_seconds, query_seconds, __ in measurements:
+        lines.append(
+            f"{n_rows:>8} {import_seconds:>9.2f} "
+            f"{n_rows / import_seconds:>10,.0f} {1000 * query_seconds:>8.2f} "
+            f"{n_rows / query_seconds / 1e6:>12.1f}"
+        )
+    emit_report("scaling", lines)
+
+    # Import throughput must not degrade more than 2x across a 4x size
+    # increase (i.e. stays roughly linear).
+    rates = [n / s for n, s, __, ___ in measurements]
+    assert rates[-1] > rates[0] / 2.0
+    # Query latency grows sub-linearly in rows here because the scan is
+    # vectorized; it must certainly not grow faster than rows.
+    latency_growth = measurements[-1][2] / measurements[0][2]
+    size_growth = _SCALES[-1] / _SCALES[0]
+    assert latency_growth < size_growth * 1.5

@@ -1,0 +1,76 @@
+"""Section 5 "Further Optimizing the Global-Dictionaries": sub-dictionaries.
+
+Paper: "When only few chunks are active for a query, there is actually
+no need to have the entire dictionary in memory. ... When processing a
+query with few active chunks, only a few of these sub-dictionaries need
+to be loaded into memory. ... we additionally keep Bloom-filters for
+each dictionary [so] one can quickly check whether certain values are
+present in a dictionary at all."
+
+This bench resolves drill-down IN restrictions over the table_name
+dictionary using the split representation and reports how many bytes
+actually became resident versus the full dictionary, plus how often the
+Bloom filters avoided a load entirely.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import emit_report, fmt_bytes
+from repro.storage.subdict import SubDictionarySet
+
+
+def test_subdictionary_residency(benchmark, reorder_store):
+    store = reorder_store
+    field = store.field("table_name")
+    subdicts = SubDictionarySet.from_field(
+        field, hot_fraction=0.02, group_size=8
+    )
+
+    # A narrow drill-down: restrictions over values from just three
+    # chunks — the few-active-chunks regime the optimization targets.
+    probes = []
+    for chunk_index in (2, 3, 4):
+        chunk_dict = field.chunks[chunk_index].chunk_dict
+        for offset in (0, chunk_dict.size // 2, chunk_dict.size - 1):
+            gid = int(chunk_dict[offset])
+            probes.append((field.dictionary.value(gid), chunk_index, gid))
+
+    def resolve_all():
+        for value, chunk_index, __ in probes:
+            subdicts.lookup_global_id(value, active_chunks={chunk_index})
+
+    resolve_all()
+    resident = subdicts.resident_size_bytes()
+    total = subdicts.total_size_bytes()
+    stats = subdicts.stats
+
+    # Absent values: Bloom filters should avoid nearly every load.
+    before_loads = subdicts.stats.loads
+    for index in range(200):
+        subdicts.lookup_global_id(f"/not/a/real/table/{index}")
+    absent_loads = subdicts.stats.loads - before_loads
+
+    benchmark(resolve_all)
+
+    lines = [
+        "Section 5 sub-dictionaries — table_name split into "
+        f"{subdicts.n_subdicts} parts ({len(field.dictionary)} values)",
+        "",
+        f"resident after {len(probes)} narrow lookups: "
+        f"{fmt_bytes(resident).strip()} of {fmt_bytes(total).strip()} "
+        f"({resident / total:.0%})",
+        f"group skips: {stats.group_skips}, bloom skips: {stats.bloom_skips}",
+        f"loads triggered by 200 absent-value probes: {absent_loads}",
+    ]
+    emit_report("subdicts", lines)
+
+    # The few-active-chunks regime must leave most of the dictionary
+    # unloaded, and Bloom filters must stop almost all absent probes.
+    assert resident < total * 0.5
+    assert absent_loads < 20
+    # For each correctly resolved probe the gid matched.
+    for value, chunk_index, gid in probes:
+        subdicts.evict_all()
+        assert subdicts.lookup_global_id(
+            value, active_chunks={chunk_index}
+        ) == gid

@@ -1,0 +1,110 @@
+"""Table 3: applying Zippy to each encoding stage.
+
+Paper (MB):
+
+    Uncompressed                Compressed
+    Query       1      2      3      1      2      3
+    Basic   20.00  41.45  91.23   3.02  17.35  17.70
+    Chunks  20.07  47.99  91.32   0.28  16.34  12.19
+    OptCols  0.08  22.99  81.32   0.04  16.32  12.19
+    OptDicts 0.08  22.98  17.66   0.04  16.32  12.40
+
+Shape assertions:
+
+- Zippy profits from partitioning (compressed Chunks << compressed
+  Basic on Q1, 10x in the paper);
+- the compression "wall": once partitioned, the further hand
+  optimizations barely change the *compressed* sizes for Q2/Q3 even
+  though uncompressed sizes drop a lot — "the final size almost seems
+  like an invariant".
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import (
+    PAPER_QUERIES,
+    compressed_field_bytes,
+    emit_report,
+    fmt_bytes,
+    query_fields,
+    uncompressed_field_bytes,
+)
+
+_PAPER_UNCOMP = {
+    "basic": {1: 20.00, 2: 41.45, 3: 91.23},
+    "chunks": {1: 20.07, 2: 47.99, 3: 91.32},
+    "optcols": {1: 0.08, 2: 22.99, 3: 81.32},
+    "optdicts": {1: 0.08, 2: 22.98, 3: 17.66},
+}
+_PAPER_COMP = {
+    "basic": {1: 3.02, 2: 17.35, 3: 17.70},
+    "chunks": {1: 0.28, 2: 16.34, 3: 12.19},
+    "optcols": {1: 0.04, 2: 16.32, 3: 12.19},
+    "optdicts": {1: 0.04, 2: 16.32, 3: 12.40},
+}
+
+
+def test_zippy_on_each_stage(
+    benchmark, basic_store, chunks_store, optcols_store, optdicts_store
+):
+    stores = {
+        "basic": basic_store,
+        "chunks": chunks_store,
+        "optcols": optcols_store,
+        "optdicts": optdicts_store,
+    }
+    uncompressed = {}
+    compressed = {}
+    for name, store in stores.items():
+        for query_id in (1, 2, 3):
+            store.execute(PAPER_QUERIES[query_id])
+            fields = query_fields(store, query_id)
+            uncompressed[(name, query_id)] = uncompressed_field_bytes(
+                store, fields
+            )
+            compressed[(name, query_id)] = compressed_field_bytes(
+                store, fields, codec="zippy"
+            )
+
+    # Time the compression of one representative field payload.
+    benchmark(
+        lambda: compressed_field_bytes(optdicts_store, ["country"], "zippy")
+    )
+
+    lines = [
+        "Table 3 — Zippy applied to the individual encodings "
+        f"({optdicts_store.n_rows} rows)",
+        "",
+        f"{'variant':<9} {'Q':>2} {'paper un':>9} {'uncompressed':>13} "
+        f"{'paper zip':>9} {'compressed':>13}",
+    ]
+    for name in ("basic", "chunks", "optcols", "optdicts"):
+        for query_id in (1, 2, 3):
+            lines.append(
+                f"{name:<9} {query_id:>2} "
+                f"{_PAPER_UNCOMP[name][query_id]:>9.2f} "
+                f"{fmt_bytes(uncompressed[(name, query_id)]):>13} "
+                f"{_PAPER_COMP[name][query_id]:>9.2f} "
+                f"{fmt_bytes(compressed[(name, query_id)]):>13}"
+            )
+    emit_report("table3_zippy", lines)
+
+    # Zippy clearly helps the unoptimized stages...
+    for name in ("basic", "chunks"):
+        for query_id in (1, 2, 3):
+            assert compressed[(name, query_id)] < uncompressed[(name, query_id)]
+    # ... while the hand-optimized encodings are already near the wall:
+    # compression may only add per-chunk framing overhead (<= 3%).
+    for name in ("optcols", "optdicts"):
+        for query_id in (1, 2, 3):
+            assert compressed[(name, query_id)] <= (
+                uncompressed[(name, query_id)] * 1.03 + 4096
+            )
+    # Partitioning improves Q1's compressed size a lot (paper: 10.8x).
+    assert compressed[("basic", 1)] / compressed[("chunks", 1)] > 3
+    # The wall: once partitioned, hand-optimizations change compressed
+    # Q2 sizes by far less than they change uncompressed sizes.
+    uncomp_gain = uncompressed[("chunks", 2)] / uncompressed[("optdicts", 2)]
+    comp_gain = compressed[("chunks", 2)] / compressed[("optdicts", 2)]
+    assert comp_gain < uncomp_gain
+    assert 0.5 < comp_gain < 2.0, "compressed Q2 should move far less than uncompressed"

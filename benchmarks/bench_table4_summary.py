@@ -1,0 +1,118 @@
+"""Table 4: the full optimization ladder, overall memory per stage.
+
+Paper (overall MB):
+
+    Query        1      2      3
+    Dremel   27.94  60.37  90.79
+    Basic    20.00  41.45  91.23
+    Chunks   20.07  47.99  91.32
+    OptCols   0.08  22.99  81.32
+    OptDicts  0.08  22.98  17.66
+    Zippy     0.04  16.32  12.40
+    Reorder   0.03  12.13   5.63
+
+The paper's conclusion: "Combined, these techniques reduce the data
+size by up to a factor of 50x" (Basic -> Reorder on Query 3 is ~16x;
+vs Dremel on Q1 it is ~930x). Shape asserted: the ladder is monotone
+non-increasing per query (within a small tolerance for the known
+Chunks bump), and the end-to-end reduction on Q3 is large.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import (
+    PAPER_QUERIES,
+    compressed_field_bytes,
+    emit_report,
+    fmt_bytes,
+    query_fields,
+    uncompressed_field_bytes,
+)
+
+_PAPER = {
+    "dremel": {1: 27.94, 2: 60.37, 3: 90.79},
+    "basic": {1: 20.00, 2: 41.45, 3: 91.23},
+    "chunks": {1: 20.07, 2: 47.99, 3: 91.32},
+    "optcols": {1: 0.08, 2: 22.99, 3: 81.32},
+    "optdicts": {1: 0.08, 2: 22.98, 3: 17.66},
+    "zippy": {1: 0.04, 2: 16.32, 3: 12.40},
+    "reorder": {1: 0.03, 2: 12.13, 3: 5.63},
+}
+
+
+def _columnio_memory(baseline_files, query_id):
+    from repro.sql.parser import parse_query
+
+    backend = baseline_files["column-io"]
+    return backend.memory_bytes(parse_query(PAPER_QUERIES[query_id]))
+
+
+def test_table4_summary(
+    benchmark,
+    baseline_files,
+    basic_store,
+    chunks_store,
+    optcols_store,
+    optdicts_store,
+    reorder_store,
+):
+    sizes: dict[tuple[str, int], int] = {}
+    for query_id in (1, 2, 3):
+        sizes[("dremel", query_id)] = _columnio_memory(baseline_files, query_id)
+    stage_stores = {
+        "basic": basic_store,
+        "chunks": chunks_store,
+        "optcols": optcols_store,
+        "optdicts": optdicts_store,
+    }
+    for name, store in stage_stores.items():
+        for query_id in (1, 2, 3):
+            store.execute(PAPER_QUERIES[query_id])
+            sizes[(name, query_id)] = uncompressed_field_bytes(
+                store, query_fields(store, query_id)
+            )
+    for query_id in (1, 2, 3):
+        optdicts_store.execute(PAPER_QUERIES[query_id])
+        reorder_store.execute(PAPER_QUERIES[query_id])
+        sizes[("zippy", query_id)] = compressed_field_bytes(
+            optdicts_store, query_fields(optdicts_store, query_id)
+        )
+        sizes[("reorder", query_id)] = compressed_field_bytes(
+            reorder_store, query_fields(reorder_store, query_id)
+        )
+
+    benchmark(lambda: reorder_store.execute(PAPER_QUERIES[1]))
+
+    stages = ["dremel", "basic", "chunks", "optcols", "optdicts", "zippy", "reorder"]
+    lines = [
+        f"Table 4 — step-wise optimization summary ({reorder_store.n_rows} rows)",
+        "",
+        f"{'stage':<9} {'paper Q1':>9} {'Q1':>12} {'paper Q2':>9} {'Q2':>12} "
+        f"{'paper Q3':>9} {'Q3':>12}",
+    ]
+    for name in stages:
+        lines.append(
+            f"{name:<9} "
+            f"{_PAPER[name][1]:>9.2f} {fmt_bytes(sizes[(name, 1)]):>12} "
+            f"{_PAPER[name][2]:>9.2f} {fmt_bytes(sizes[(name, 2)]):>12} "
+            f"{_PAPER[name][3]:>9.2f} {fmt_bytes(sizes[(name, 3)]):>12}"
+        )
+    ratio = sizes[("basic", 3)] / sizes[("reorder", 3)]
+    lines += [
+        "",
+        f"end-to-end Q3 reduction Basic -> Reorder: {ratio:.1f}x "
+        "(paper: 16.2x; 'up to 50x' vs raw formats)",
+    ]
+    emit_report("table4_summary", lines)
+
+    # Ladder is non-increasing per query after the known Chunks bump.
+    ladder = ["chunks", "optcols", "optdicts", "zippy", "reorder"]
+    for query_id in (1, 2, 3):
+        for earlier, later in zip(ladder, ladder[1:]):
+            assert sizes[(later, query_id)] <= sizes[(earlier, query_id)] * 1.05, (
+                f"{later} should not exceed {earlier} on Q{query_id}"
+            )
+    assert ratio > 4, f"Q3 end-to-end reduction only {ratio:.1f}x"
+    # Final footprint beats the Dremel stand-in on every query.
+    for query_id in (1, 2, 3):
+        assert sizes[("reorder", query_id)] < sizes[("dremel", query_id)]

@@ -1,0 +1,72 @@
+"""Section 3 "Partitioning the Data into Chunks" memory table.
+
+Paper (overall memory in MB):
+
+    Query        1      2      3
+    Dremel   27.94  60.37  90.79
+    Basic    20.00  41.45  91.23
+    Chunks   20.07  47.99  91.32
+
+Shape: partitioning alone *slightly increases* memory (more chunk
+dictionaries), and the increase is small for the fields in the
+partition order (Q1 country, Q3 table_name) but larger for Q2's
+many-distinct latency field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import (
+    PAPER_QUERIES,
+    emit_report,
+    fmt_bytes,
+    query_fields,
+    uncompressed_field_bytes,
+)
+
+_PAPER = {
+    "basic": {1: 20.00, 2: 41.45, 3: 91.23},
+    "chunks": {1: 20.07, 2: 47.99, 3: 91.32},
+}
+
+
+def test_chunks_memory_table(benchmark, basic_store, chunks_store):
+    sizes = {}
+    for name, store in (("basic", basic_store), ("chunks", chunks_store)):
+        for query_id in (1, 2, 3):
+            store.execute(PAPER_QUERIES[query_id])  # materialize virtuals
+            fields = query_fields(store, query_id)
+            sizes[(name, query_id)] = uncompressed_field_bytes(store, fields)
+
+    benchmark(lambda: chunks_store.execute(PAPER_QUERIES[1]))
+
+    lines = [
+        "Section 3 'Chunks' — overall memory after partitioning "
+        f"({chunks_store.n_rows} rows, {chunks_store.n_chunks} chunks)",
+        "",
+        f"{'variant':<8} {'Q':>2} {'paper MB':>9} {'measured':>12} {'vs basic':>9}",
+    ]
+    for name in ("basic", "chunks"):
+        for query_id in (1, 2, 3):
+            ratio = sizes[(name, query_id)] / sizes[("basic", query_id)]
+            lines.append(
+                f"{name:<8} {query_id:>2} {_PAPER[name][query_id]:>9.2f} "
+                f"{fmt_bytes(sizes[(name, query_id)]):>12} {ratio:>8.3f}x"
+            )
+    emit_report("table_chunks", lines)
+
+    for query_id in (1, 2, 3):
+        basic = sizes[("basic", query_id)]
+        chunks = sizes[("chunks", query_id)]
+        # Partitioning may only add chunk-dictionary overhead...
+        assert chunks >= basic * 0.999
+        # ... and the overhead stays modest (paper: <= ~16%).
+        assert chunks <= basic * 1.5, f"Q{query_id} overhead too large"
+    # Q2 (latency: many distinct values per chunk) grows more than the
+    # partition-order fields of Q1/Q3 in relative terms.
+    growth = {
+        q: sizes[("chunks", q)] / sizes[("basic", q)] for q in (1, 2, 3)
+    }
+    assert growth[2] >= growth[1]
+    assert growth[2] >= growth[3]

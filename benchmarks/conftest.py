@@ -1,0 +1,61 @@
+"""Benchmark fixtures: the shared dataset, stores and baseline files."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import bench_table, store_variant
+from repro.formats import (
+    ColumnIoBackend,
+    CsvBackend,
+    RecordIoBackend,
+    write_columnio,
+    write_csv,
+    write_recordio,
+)
+
+
+@pytest.fixture(scope="session")
+def table():
+    return bench_table()
+
+
+@pytest.fixture(scope="session")
+def basic_store():
+    return store_variant("basic")
+
+
+@pytest.fixture(scope="session")
+def chunks_store():
+    return store_variant("chunks")
+
+
+@pytest.fixture(scope="session")
+def optcols_store():
+    return store_variant("optcols")
+
+
+@pytest.fixture(scope="session")
+def optdicts_store():
+    return store_variant("optdicts")
+
+
+@pytest.fixture(scope="session")
+def reorder_store():
+    return store_variant("reorder")
+
+
+@pytest.fixture(scope="session")
+def baseline_files(table, tmp_path_factory):
+    base = tmp_path_factory.mktemp("baselines")
+    csv_path = str(base / "logs.csv")
+    rio_path = str(base / "logs.rio")
+    cio_path = str(base / "logs.cio")
+    write_csv(table, csv_path)
+    write_recordio(table, rio_path)
+    write_columnio(table, cio_path)
+    return {
+        "csv": CsvBackend(csv_path, table.schema),
+        "record-io": RecordIoBackend(rio_path, table.schema),
+        "column-io": ColumnIoBackend(cio_path),
+    }

@@ -1,0 +1,109 @@
+"""Nested records: protobuf-style logs with repeated fields.
+
+The paper's input data are protocol-buffer logs whose records may carry
+repeated sub-records; PowerDrill "supports a nested relational model".
+This example builds web-search records with a repeated
+``clicked_rank`` field, round-trips them through the nested record-io
+wire format, flattens them into the relational shape the column-store
+imports, and shows the record-vs-value counting duality.
+
+Run:  python examples/nested_records.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import DataType
+from repro.monitoring import QueryLogCollector
+from repro.nested import (
+    NestedColumn,
+    NestedTable,
+    read_nested_recordio,
+    write_nested_recordio,
+)
+
+
+def build_search_logs(n_records: int = 30_000, seed: int = 7) -> NestedTable:
+    rng = random.Random(seed)
+    countries = [rng.choice(["DE", "US", "FR", "JP", "GB"]) for __ in range(n_records)]
+    terms = ["cat", "dog", "auto", "flights", "pizza", "weather", "news"]
+    queries = [
+        " ".join(rng.sample(terms, rng.randint(1, 2))) for __ in range(n_records)
+    ]
+    clicks = []
+    for __ in range(n_records):
+        n_clicks = rng.choices([0, 1, 2, 3, 5], weights=[25, 40, 20, 10, 5])[0]
+        clicks.append(sorted(rng.sample(range(1, 11), n_clicks)))
+    return NestedTable(
+        [
+            NestedColumn("country", countries),
+            NestedColumn("query", queries),
+            NestedColumn("clicked_rank", clicks, repeated=True),
+        ]
+    )
+
+
+def main() -> None:
+    nested = build_search_logs()
+    print(f"{nested.n_records} search records, repeated field: clicked_rank")
+
+    with tempfile.NamedTemporaryFile(suffix=".rio", delete=False) as handle:
+        path = handle.name
+    size = write_nested_recordio(nested, path)
+    loaded = read_nested_recordio(
+        path,
+        ["country", "query", "clicked_rank"],
+        [DataType.STRING, DataType.STRING, DataType.INT],
+        [False, False, True],
+    )
+    print(f"wire round-trip: {size / 1024:.0f} KB, "
+          f"{loaded.n_records} records back")
+
+    flat = loaded.flatten()
+    print(f"flattened: {flat.n_rows} rows (one per click; empty lists keep "
+          "their record as a NULL row)\n")
+
+    store = DataStore.from_table(
+        flat,
+        DataStoreOptions(
+            partition_fields=("country", "query"),
+            max_chunk_rows=2_000,
+            reorder_rows=True,
+        ),
+    )
+    collector = QueryLogCollector()
+
+    queries = [
+        # value-level vs record-level counting:
+        "SELECT COUNT(clicked_rank) as clicks, "
+        "COUNT(DISTINCT __record_id) as searches FROM data",
+        # click-through per country:
+        "SELECT country, COUNT(clicked_rank) as clicks, "
+        "COUNT(DISTINCT __record_id) as searches FROM data "
+        "GROUP BY country ORDER BY clicks DESC",
+        # the paper's motivating restriction, on nested data:
+        "SELECT country, COUNT(DISTINCT __record_id) as searches FROM data "
+        "WHERE contains(query, 'cat') = 1 GROUP BY country "
+        "ORDER BY searches DESC LIMIT 5",
+        # average first-clicked rank among records that clicked at all:
+        "SELECT country, AVG(clicked_rank) as avg_rank FROM data "
+        "WHERE clicked_rank IS NOT NULL GROUP BY country "
+        "ORDER BY avg_rank ASC",
+    ]
+    for sql in queries:
+        print(f"-- {sql}")
+        result = store.execute(sql)
+        collector.record(result)
+        for row in result.rows():
+            print(f"   {row}")
+        print()
+
+    print("session report:")
+    print(collector.report())
+
+
+if __name__ == "__main__":
+    main()

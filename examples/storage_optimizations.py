@@ -1,0 +1,90 @@
+"""Walk the Section 3 optimization ladder and watch memory shrink.
+
+Builds the same dataset as Basic -> Chunks -> OptCols -> OptDicts, then
+applies Zippy and row reordering, printing the footprint of each field
+at every stage — the Table 4 story, interactively.
+
+Run:  python examples/storage_optimizations.py
+"""
+
+from __future__ import annotations
+
+from repro import DataStore, DataStoreOptions, LogsConfig, generate_query_logs
+from repro.compress.registry import get_codec
+
+
+def field_bytes(store: DataStore, name: str) -> int:
+    return store.field(name).size_bytes()
+
+
+def compressed_bytes(store: DataStore, name: str) -> int:
+    codec = get_codec("zippy")
+    field = store.field(name)
+    total = len(codec.compress(field.dictionary.to_bytes()))
+    for chunk in field.chunks:
+        total += len(codec.compress(chunk.to_bytes()))
+    return total
+
+
+def main() -> None:
+    table = generate_query_logs(
+        LogsConfig(n_rows=60_000, n_days=15, n_teams=20, datasets_per_team=8)
+    )
+    fields = ["country", "table_name", "latency"]
+    partition = ("country", "table_name")
+
+    stages = {
+        "Basic": DataStoreOptions(
+            optimized_columns=False, optimized_dicts=False
+        ),
+        "Chunks": DataStoreOptions(
+            partition_fields=partition,
+            max_chunk_rows=600,
+            optimized_columns=False,
+            optimized_dicts=False,
+        ),
+        "OptCols": DataStoreOptions(
+            partition_fields=partition,
+            max_chunk_rows=600,
+            optimized_dicts=False,
+        ),
+        "OptDicts": DataStoreOptions(
+            partition_fields=partition, max_chunk_rows=600
+        ),
+        "Reorder": DataStoreOptions(
+            partition_fields=partition, max_chunk_rows=600, reorder_rows=True
+        ),
+    }
+
+    print(f"{table.n_rows} rows; per-field encoded bytes by stage\n")
+    header = f"{'stage':<16}" + "".join(f"{name:>14}" for name in fields)
+    print(header)
+    stores = {}
+    for stage_name, options in stages.items():
+        store = DataStore.from_table(table, options)
+        stores[stage_name] = store
+        sizes = "".join(
+            f"{field_bytes(store, name):>14,}" for name in fields
+        )
+        print(f"{stage_name:<16}{sizes}")
+
+    for stage_name in ("OptDicts", "Reorder"):
+        store = stores[stage_name]
+        sizes = "".join(
+            f"{compressed_bytes(store, name):>14,}" for name in fields
+        )
+        print(f"{stage_name + ' +Zippy':<16}{sizes}")
+
+    basic = stores["Basic"]
+    final = stores["Reorder"]
+    for name in fields:
+        ratio = field_bytes(basic, name) / compressed_bytes(final, name)
+        print(f"\n{name}: total reduction {ratio:.1f}x", end="")
+    print(
+        "\n\npaper: 'Combined, these techniques reduce the data size by up "
+        "to a factor of 50x.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Processing a Trillion Cells per Mouse Click".
+
+This package implements the PowerDrill column-store (Hall et al.,
+VLDB 2012) in pure Python: the double dictionary encoding, composite
+range partitioning with chunk skipping, the Section 3 storage
+optimizations (element encodings, nibble-trie dictionaries, generic
+compression, row reordering), approximate count-distinct, and a
+simulated distributed execution layer — plus the row/column baseline
+backends the paper compares against.
+
+Quickstart::
+
+    from repro import DataStore, DataStoreOptions, generate_query_logs
+
+    table = generate_query_logs()
+    store = DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            reorder_rows=True,
+        ),
+    )
+    result = store.execute(
+        "SELECT country, COUNT(*) as c FROM data "
+        "GROUP BY country ORDER BY c DESC LIMIT 10"
+    )
+    print(result.rows())
+    print(f"skipped {result.stats.skip_fraction:.0%} of rows")
+"""
+
+from repro.core.datastore import DataStore, DataStoreOptions, FieldStore
+from repro.core.result import QueryResult, ScanStats
+from repro.core.table import Column, DataType, Schema, Table
+from repro.distributed.cluster import (
+    ClusterConfig,
+    MachineConfig,
+    QueryMetrics,
+    SimulatedCluster,
+)
+from repro.errors import ReproError
+from repro.monitoring import QueryLogCollector
+from repro.sql.parser import parse_query
+from repro.storage.serde import load_store, save_store
+from repro.workload.generator import LogsConfig, generate_query_logs
+from repro.workload.queries import (
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    DrillDownConfig,
+    generate_drilldown_sessions,
+    paper_queries,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "Column",
+    "DataStore",
+    "DataStoreOptions",
+    "DataType",
+    "DrillDownConfig",
+    "FieldStore",
+    "LogsConfig",
+    "MachineConfig",
+    "QUERY_1",
+    "QUERY_2",
+    "QUERY_3",
+    "QueryLogCollector",
+    "QueryMetrics",
+    "QueryResult",
+    "ReproError",
+    "ScanStats",
+    "Schema",
+    "SimulatedCluster",
+    "Table",
+    "__version__",
+    "generate_drilldown_sessions",
+    "generate_query_logs",
+    "load_store",
+    "paper_queries",
+    "parse_query",
+    "save_store",
+]

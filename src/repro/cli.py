@@ -1,0 +1,234 @@
+"""Command-line interface: import data, run queries, inspect stores.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro import logs.csv store.pds --partition country,table_name
+    python -m repro query store.pds "SELECT country, COUNT(*) c FROM data \
+        GROUP BY country ORDER BY c DESC LIMIT 5"
+    python -m repro repl store.pds
+    python -m repro info store.pds
+    python -m repro demo --rows 50000
+
+``import`` accepts ``.csv``, ``.rio`` (record-io) and ``.cio``
+(column-io) inputs; the schema for the row formats is inferred from a
+CSV header + value sniffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.result import QueryResult
+from repro.core.table import Table
+from repro.errors import ReproError
+from repro.storage.serde import load_store, save_store
+from repro.workload.generator import LogsConfig, generate_query_logs
+from repro.workload.queries import paper_queries
+
+
+def _load_table(path: str) -> Table:
+    if path.endswith(".csv"):
+        import csv as csv_module
+
+        from repro.core.table import Column, DataType
+
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv_module.reader(handle)
+            header = next(reader)
+            rows = list(reader)
+        columns = []
+        for index, name in enumerate(header):
+            raw = [row[index] for row in rows]
+            columns.append(Column(name, _sniff(raw)))
+        return Table(columns)
+    if path.endswith(".cio"):
+        from repro.formats.columnio import read_columnio
+
+        return read_columnio(path)
+    raise ReproError(f"unsupported input format: {path} (use .csv or .cio)")
+
+
+def _sniff(raw: list[str]) -> list:
+    """Best-effort typing of CSV strings: int, then float, else str."""
+    def convert(kind):
+        out = []
+        for value in raw:
+            if value == "\\N" or value == "":
+                out.append(None)
+            else:
+                out.append(kind(value))
+        return out
+
+    for kind in (int, float):
+        try:
+            return convert(kind)
+        except ValueError:
+            continue
+    return [None if v == "\\N" else v for v in raw]
+
+
+def _print_result(result: QueryResult, show_stats: bool) -> None:
+    names = result.column_names
+    widths = [
+        max(len(str(name)), *(len(str(row[i])) for row in result.rows()))
+        if result.rows()
+        else len(str(name))
+        for i, name in enumerate(names)
+    ]
+    header = "  ".join(str(n).ljust(w) for n, w in zip(names, widths))
+    print(header)
+    print("-" * len(header))
+    for row in result.rows():
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    if show_stats:
+        stats = result.stats
+        print(
+            f"\n{result.table.n_rows} rows in "
+            f"{1000 * result.elapsed_seconds:.1f} ms | skipped "
+            f"{stats.skip_fraction:.1%}, cached {stats.cache_fraction:.1%}, "
+            f"scanned {stats.scan_fraction:.1%} | memory "
+            f"{stats.memory_bytes / 1024:.0f} KB"
+        )
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    table = _load_table(args.input)
+    partition = tuple(args.partition.split(",")) if args.partition else None
+    options = DataStoreOptions(
+        partition_fields=partition,
+        max_chunk_rows=args.chunk_rows,
+        reorder_rows=bool(partition) and not args.no_reorder,
+    )
+    started = time.perf_counter()
+    store = DataStore.from_table(table, options)
+    size = save_store(store, args.output)
+    print(
+        f"imported {table.n_rows} rows x {table.n_columns} columns into "
+        f"{store.n_chunks} chunks in {time.perf_counter() - started:.2f}s; "
+        f"wrote {size / 1024:.0f} KB to {args.output}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    store = load_store(args.store)
+    result = store.execute(args.sql)
+    _print_result(result, show_stats=not args.quiet)
+    return 0
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    store = load_store(args.store)
+    print(
+        f"loaded {store.n_rows} rows in {store.n_chunks} chunks; "
+        f"fields: {sorted(n for n, f in store.fields.items() if not f.virtual)}"
+    )
+    print("enter SQL (empty line or 'quit' to exit)")
+    while True:
+        try:
+            line = input("pd> ").strip()
+        except EOFError:
+            break
+        if not line or line.lower() in ("quit", "exit"):
+            break
+        try:
+            _print_result(store.execute(line), show_stats=True)
+        except ReproError as error:
+            print(f"error: {error}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    store = load_store(args.store)
+    print(f"table: {store.options.table_name}")
+    print(f"rows:  {store.n_rows} in {store.n_chunks} chunks")
+    print(f"partition fields: {store.options.partition_fields}")
+    print(
+        f"{'field':<16} {'distinct':>9} {'dict KB':>8} "
+        f"{'chunk-dicts KB':>14} {'elements KB':>12}"
+    )
+    for name, field in sorted(store.fields.items()):
+        if field.virtual:
+            continue
+        print(
+            f"{name:<16} {len(field.dictionary):>9} "
+            f"{field.dictionary_size_bytes() / 1024:>8.1f} "
+            f"{field.chunk_dicts_size_bytes() / 1024:>14.1f} "
+            f"{field.elements_size_bytes() / 1024:>12.1f}"
+        )
+    print(f"total encoded: {store.total_size_bytes() / 1024:.0f} KB")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    table = generate_query_logs(LogsConfig(n_rows=args.rows))
+    store = DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=max(500, args.rows // 100),
+            reorder_rows=True,
+        ),
+    )
+    for sql in paper_queries():
+        print(f"\n-- {sql}")
+        store.execute(sql)  # warm
+        _print_result(store.execute(sql), show_stats=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PowerDrill-reproduction column store CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_import = sub.add_parser("import", help="import a data file into a store")
+    p_import.add_argument("input", help=".csv or .cio input file")
+    p_import.add_argument("output", help="output store file (.pds)")
+    p_import.add_argument(
+        "--partition", default=None, help="comma-separated partition fields"
+    )
+    p_import.add_argument("--chunk-rows", type=int, default=50_000)
+    p_import.add_argument(
+        "--no-reorder", action="store_true", help="skip the lexicographic reorder"
+    )
+    p_import.set_defaults(func=cmd_import)
+
+    p_query = sub.add_parser("query", help="run one SQL query against a store")
+    p_query.add_argument("store", help="store file (.pds)")
+    p_query.add_argument("sql", help="the SELECT statement")
+    p_query.add_argument("--quiet", action="store_true", help="rows only")
+    p_query.set_defaults(func=cmd_query)
+
+    p_repl = sub.add_parser("repl", help="interactive SQL prompt")
+    p_repl.add_argument("store", help="store file (.pds)")
+    p_repl.set_defaults(func=cmd_repl)
+
+    p_info = sub.add_parser("info", help="describe a store file")
+    p_info.add_argument("store", help="store file (.pds)")
+    p_info.set_defaults(func=cmd_info)
+
+    p_demo = sub.add_parser("demo", help="run the paper's queries on demo data")
+    p_demo.add_argument("--rows", type=int, default=50_000)
+    p_demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

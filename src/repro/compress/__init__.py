@@ -1,0 +1,54 @@
+"""Compression codecs used by the column-store.
+
+The paper compresses its encodings with Google's Zippy (released as
+Snappy) and evaluates ZLIB/LZO variants in Section 5. This package
+provides from-scratch, pure-Python equivalents:
+
+- :mod:`repro.compress.zippy` -- an LZ77 byte codec with Snappy-style
+  literal/copy tags (the workhorse codec).
+- :mod:`repro.compress.lzo_like` -- an LZ77 variant with lazy matching
+  and a larger window: ~10% better ratio, cheap decompression
+  (the "variant of LZO" chosen for production in Section 5).
+- :mod:`repro.compress.huffman` -- canonical Huffman coding; stacked on
+  zippy it plays the role of "ZLIB with additional Huffman coding".
+- :mod:`repro.compress.rle` -- run-length encodings, including the
+  simplified bit-column RLE of Figure 3.
+
+All codecs round-trip arbitrary ``bytes`` and are registered in
+:mod:`repro.compress.registry` under stable names.
+"""
+
+from repro.compress.huffman import huffman_compress, huffman_decompress
+from repro.compress.lzo_like import lzo_compress, lzo_decompress
+from repro.compress.registry import (
+    available_codecs,
+    compress,
+    decompress,
+    get_codec,
+)
+from repro.compress.rle import (
+    bit_rle_counter_count,
+    rle_decode_bytes,
+    rle_decode_ints,
+    rle_encode_bytes,
+    rle_encode_ints,
+)
+from repro.compress.zippy import zippy_compress, zippy_decompress
+
+__all__ = [
+    "available_codecs",
+    "bit_rle_counter_count",
+    "compress",
+    "decompress",
+    "get_codec",
+    "huffman_compress",
+    "huffman_decompress",
+    "lzo_compress",
+    "lzo_decompress",
+    "rle_decode_bytes",
+    "rle_decode_ints",
+    "rle_encode_bytes",
+    "rle_encode_ints",
+    "zippy_compress",
+    "zippy_decompress",
+]

@@ -1,0 +1,135 @@
+"""Canonical Huffman coding over bytes.
+
+Section 5 of the paper tests ZLIB "with additional Huffman coding",
+observing 20-30% better ratios at up to an order of magnitude more CPU.
+This module provides the Huffman stage: a canonical code built from byte
+frequencies, serialized as the 256 code lengths, followed by the packed
+bitstream. Stack it on an LZ codec (see ``zippy+huffman`` in
+:mod:`repro.compress.registry`) to reproduce the ZLIB-like variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.compress.varint import decode_varint, encode_varint
+from repro.errors import CompressionError
+
+_MAX_CODE_LEN = 32
+
+
+def _code_lengths(freqs: list[int]) -> list[int]:
+    """Huffman code length per symbol (0 for absent symbols)."""
+    heap: list[tuple[int, int, tuple]] = []
+    tick = 0
+    for symbol, freq in enumerate(freqs):
+        if freq:
+            heap.append((freq, tick, (symbol,)))
+            tick += 1
+    if not heap:
+        return [0] * 256
+    if len(heap) == 1:
+        lengths = [0] * 256
+        lengths[heap[0][2][0]] = 1
+        return lengths
+    heapq.heapify(heap)
+    lengths = [0] * 256
+    while len(heap) > 1:
+        fa, __, syms_a = heapq.heappop(heap)
+        fb, __, syms_b = heapq.heappop(heap)
+        merged = syms_a + syms_b
+        for symbol in merged:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (fa + fb, tick, merged))
+        tick += 1
+    return lengths
+
+
+def _canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
+    """Map symbol -> (code, length) in canonical order."""
+    symbols = sorted(
+        (s for s in range(256) if lengths[s]), key=lambda s: (lengths[s], s)
+    )
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol in symbols:
+        length = lengths[symbol]
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Compress ``data`` with a canonical Huffman code.
+
+    Output layout: varint(len(data)) || 256 length bytes || bitstream.
+    """
+    out = bytearray(encode_varint(len(data)))
+    if not data:
+        return bytes(out)
+    freqs = [0] * 256
+    for byte in data:
+        freqs[byte] += 1
+    lengths = _code_lengths(freqs)
+    if max(lengths) > _MAX_CODE_LEN:
+        raise CompressionError("Huffman code length exceeds 32 bits")
+    out += bytes(lengths)
+    codes = _canonical_codes(lengths)
+    acc = 0
+    bits = 0
+    for byte in data:
+        code, length = codes[byte]
+        acc = (acc << length) | code
+        bits += length
+        while bits >= 8:
+            bits -= 8
+            out.append((acc >> bits) & 0xFF)
+    if bits:
+        out.append((acc << (8 - bits)) & 0xFF)
+    return bytes(out)
+
+
+def huffman_decompress(data: bytes) -> bytes:
+    """Decompress a buffer produced by :func:`huffman_compress`."""
+    expected, pos = decode_varint(data, 0)
+    if expected == 0:
+        return b""
+    if pos + 256 > len(data):
+        raise CompressionError("truncated Huffman length table")
+    lengths = list(data[pos : pos + 256])
+    pos += 256
+    codes = _canonical_codes(lengths)
+    if not codes:
+        raise CompressionError("empty Huffman code for non-empty payload")
+    # Invert: (length, code) -> symbol.
+    decode_map = {(ln, code): sym for sym, (code, ln) in codes.items()}
+    out = bytearray()
+    acc = 0
+    bits = 0
+    for byte in data[pos:]:
+        acc = (acc << 8) | byte
+        bits += 8
+        while True:
+            matched = False
+            # Try the shortest prefix first; code lengths are <= 32.
+            for ln in range(1, min(bits, _MAX_CODE_LEN) + 1):
+                prefix = acc >> (bits - ln)
+                symbol = decode_map.get((ln, prefix))
+                if symbol is not None:
+                    out.append(symbol)
+                    bits -= ln
+                    acc &= (1 << bits) - 1
+                    matched = True
+                    break
+            if not matched or len(out) == expected:
+                break
+        if len(out) == expected:
+            break
+    if len(out) != expected:
+        raise CompressionError(
+            f"decoded {len(out)} symbols, expected {expected}"
+        )
+    return bytes(out)

@@ -1,0 +1,80 @@
+"""Codec registry: look up compressors by stable name.
+
+The hybrid storage layers (:mod:`repro.storage.layers`) and the
+column-io backend reference codecs by name so that the codec choice is
+a configuration knob, mirroring Section 5's "Other Compression
+Algorithms" evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.compress.huffman import huffman_compress, huffman_decompress
+from repro.compress.lzo_like import lzo_compress, lzo_decompress
+from repro.compress.rle import rle_decode_bytes, rle_encode_bytes
+from repro.compress.zippy import zippy_compress, zippy_decompress
+from repro.errors import CompressionError
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named pair of compress/decompress functions over bytes."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def _identity(data: bytes) -> bytes:
+    return data
+
+
+def _zippy_huffman_compress(data: bytes) -> bytes:
+    return huffman_compress(zippy_compress(data))
+
+
+def _zippy_huffman_decompress(data: bytes) -> bytes:
+    return zippy_decompress(huffman_decompress(data))
+
+
+_CODECS: dict[str, Codec] = {
+    codec.name: codec
+    for codec in (
+        Codec("none", _identity, _identity),
+        Codec("zippy", zippy_compress, zippy_decompress),
+        Codec("lzo", lzo_compress, lzo_decompress),
+        Codec("huffman", huffman_compress, huffman_decompress),
+        Codec("zippy+huffman", _zippy_huffman_compress, _zippy_huffman_decompress),
+        Codec("rle", rle_encode_bytes, rle_decode_bytes),
+    )
+}
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_CODECS)
+
+
+def get_codec(name: str) -> Codec:
+    """Return the codec registered under ``name``.
+
+    Raises :class:`~repro.errors.CompressionError` for unknown names.
+    """
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        ) from None
+
+
+def compress(name: str, data: bytes) -> bytes:
+    """Compress ``data`` with the named codec."""
+    return get_codec(name).compress(data)
+
+
+def decompress(name: str, data: bytes) -> bytes:
+    """Decompress ``data`` with the named codec."""
+    return get_codec(name).decompress(data)

@@ -1,0 +1,56 @@
+"""Little-endian base-128 varints (the protocol-buffer wire encoding).
+
+Shared by the compression codecs (length preambles) and the record-io
+row format (:mod:`repro.formats.recordio`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressionError
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise CompressionError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes | memoryview, pos: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``pos``.
+
+    Returns ``(value, next_pos)``.
+    """
+    result = 0
+    shift = 0
+    start = pos
+    while True:
+        if pos >= len(data):
+            raise CompressionError(f"truncated varint at offset {start}")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CompressionError(f"varint too long at offset {start}")
+
+
+def encode_zigzag(value: int) -> bytes:
+    """Encode a signed integer with zigzag mapping then varint."""
+    return encode_varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def decode_zigzag(data: bytes | memoryview, pos: int = 0) -> tuple[int, int]:
+    """Decode a zigzag varint; returns ``(value, next_pos)``."""
+    raw, pos = decode_varint(data, pos)
+    return (raw >> 1) ^ -(raw & 1), pos

@@ -1,0 +1,193 @@
+"""Zippy: a from-scratch LZ77 codec with Snappy-style tags.
+
+The paper compresses all of its encodings with Google's internal Zippy
+algorithm (open-sourced as Snappy). This module implements the same
+design from scratch:
+
+- a varint preamble carrying the uncompressed length,
+- *literal* tags (tag low bits ``00``) carrying up to 2**32 raw bytes,
+- *copy* tags referencing earlier output, in two shapes:
+  ``01`` = length 4..11 with an 11-bit offset, ``10`` = length 1..64
+  with a 16-bit offset,
+- greedy matching driven by a hash table over 4-byte windows with the
+  Snappy "skip ahead on repeated misses" heuristic.
+
+The encoder favours speed over ratio (like Zippy); the LZO-like variant
+in :mod:`repro.compress.lzo_like` trades encode time for ~10% better
+ratio, matching the Section 5 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.compress.varint import decode_varint, encode_varint
+from repro.errors import CompressionError
+
+_MIN_MATCH = 4
+_MAX_COPY_LEN = 64
+_MAX_OFFSET_1BYTE = 1 << 11  # 01-tag copies: 11-bit offset
+_MAX_OFFSET_2BYTE = 1 << 16  # 10-tag copies: 16-bit offset
+_TAG_LITERAL = 0b00
+_TAG_COPY1 = 0b01
+_TAG_COPY2 = 0b10
+
+
+def _emit_literal(out: bytearray, data: bytes, start: int, end: int) -> None:
+    """Append a literal run ``data[start:end]`` with its tag byte(s)."""
+    length = end - start
+    while length > 0:
+        run = min(length, 1 << 32)
+        n = run - 1
+        if n < 60:
+            out.append(_TAG_LITERAL | (n << 2))
+        elif n < 1 << 8:
+            out.append(_TAG_LITERAL | (60 << 2))
+            out.append(n)
+        elif n < 1 << 16:
+            out.append(_TAG_LITERAL | (61 << 2))
+            out += n.to_bytes(2, "little")
+        elif n < 1 << 24:
+            out.append(_TAG_LITERAL | (62 << 2))
+            out += n.to_bytes(3, "little")
+        else:
+            out.append(_TAG_LITERAL | (63 << 2))
+            out += n.to_bytes(4, "little")
+        out += data[start : start + run]
+        start += run
+        length -= run
+
+
+def _emit_copy(out: bytearray, offset: int, length: int) -> None:
+    """Append copy tag(s) for a back-reference of ``length`` at ``offset``."""
+    # Long matches are emitted as a sequence of <=64-byte copies.
+    while length >= _MAX_COPY_LEN + _MIN_MATCH:
+        _emit_one_copy(out, offset, _MAX_COPY_LEN)
+        length -= _MAX_COPY_LEN
+    if length > _MAX_COPY_LEN:
+        # Avoid leaving a tail shorter than a representable copy.
+        _emit_one_copy(out, offset, length - _MIN_MATCH)
+        length = _MIN_MATCH
+    _emit_one_copy(out, offset, length)
+
+
+def _emit_one_copy(out: bytearray, offset: int, length: int) -> None:
+    if 4 <= length <= 11 and offset < _MAX_OFFSET_1BYTE:
+        out.append(_TAG_COPY1 | ((length - 4) << 2) | ((offset >> 8) << 5))
+        out.append(offset & 0xFF)
+    else:
+        out.append(_TAG_COPY2 | ((length - 1) << 2))
+        out += offset.to_bytes(2, "little")
+
+
+def zippy_compress(data: bytes) -> bytes:
+    """Compress ``data``; the result always round-trips via
+    :func:`zippy_decompress`.
+    """
+    n = len(data)
+    out = bytearray(encode_varint(n))
+    if n < _MIN_MATCH:
+        if n:
+            _emit_literal(out, data, 0, n)
+        return bytes(out)
+
+    table: dict[int, int] = {}
+    pos = 0
+    literal_start = 0
+    limit = n - _MIN_MATCH
+    skip = 32  # Snappy heuristic: 1 extra skip per 32 misses.
+    while pos <= limit:
+        key = int.from_bytes(data[pos : pos + _MIN_MATCH], "little")
+        candidate = table.get(key)
+        table[key] = pos
+        if (
+            candidate is not None
+            and pos - candidate < _MAX_OFFSET_2BYTE
+            and data[candidate : candidate + _MIN_MATCH]
+            == data[pos : pos + _MIN_MATCH]
+        ):
+            # Extend the match as far as possible.
+            match_len = _MIN_MATCH
+            max_len = n - pos
+            while (
+                match_len < max_len
+                and data[candidate + match_len] == data[pos + match_len]
+            ):
+                match_len += 1
+            if literal_start < pos:
+                _emit_literal(out, data, literal_start, pos)
+            _emit_copy(out, pos - candidate, match_len)
+            # Seed the table at the end of the match so adjacent repeats
+            # are found without hashing every interior position.
+            end = pos + match_len
+            if end - 1 <= limit:
+                tail_key = int.from_bytes(
+                    data[end - 1 : end - 1 + _MIN_MATCH], "little"
+                )
+                table[tail_key] = end - 1
+            pos = end
+            literal_start = pos
+            skip = 32
+        else:
+            pos += 1 + (skip >> 5)
+            skip += 1
+    if literal_start < n:
+        _emit_literal(out, data, literal_start, n)
+    return bytes(out)
+
+
+def zippy_decompress(data: bytes) -> bytes:
+    """Decompress a buffer produced by :func:`zippy_compress`."""
+    expected, pos = decode_varint(data, 0)
+    out = bytearray()
+    n = len(data)
+    while pos < n:
+        tag = data[pos]
+        pos += 1
+        kind = tag & 0b11
+        if kind == _TAG_LITERAL:
+            marker = tag >> 2
+            if marker < 60:
+                length = marker + 1
+            else:
+                extra = marker - 59
+                if pos + extra > n:
+                    raise CompressionError("truncated literal length")
+                length = int.from_bytes(data[pos : pos + extra], "little") + 1
+                pos += extra
+            if pos + length > n:
+                raise CompressionError("truncated literal body")
+            out += data[pos : pos + length]
+            pos += length
+        elif kind == _TAG_COPY1:
+            if pos >= n:
+                raise CompressionError("truncated 1-byte-offset copy")
+            length = ((tag >> 2) & 0b111) + 4
+            offset = ((tag >> 5) << 8) | data[pos]
+            pos += 1
+            _apply_copy(out, offset, length)
+        elif kind == _TAG_COPY2:
+            if pos + 2 > n:
+                raise CompressionError("truncated 2-byte-offset copy")
+            length = (tag >> 2) + 1
+            offset = int.from_bytes(data[pos : pos + 2], "little")
+            pos += 2
+            _apply_copy(out, offset, length)
+        else:
+            raise CompressionError(f"unknown tag kind {kind:#b}")
+    if len(out) != expected:
+        raise CompressionError(
+            f"decompressed size {len(out)} != declared {expected}"
+        )
+    return bytes(out)
+
+
+def _apply_copy(out: bytearray, offset: int, length: int) -> None:
+    """Copy ``length`` bytes from ``offset`` back in ``out`` (may overlap)."""
+    if offset <= 0 or offset > len(out):
+        raise CompressionError(f"copy offset {offset} out of range")
+    start = len(out) - offset
+    if offset >= length:
+        out += out[start : start + length]
+    else:
+        # Overlapping copy: replicate byte-by-byte (RLE-style runs).
+        for i in range(length):
+            out.append(out[start + i])

@@ -1,0 +1,870 @@
+"""The PowerDrill datastore: import, virtual fields, query execution.
+
+This is the paper's central artifact. A :class:`DataStore` is built
+from a :class:`~repro.core.table.Table` in an import phase that
+
+1. optionally *reorders* rows lexicographically by the partition fields
+   (Section 3 "Reordering Rows"),
+2. *partitions* them with composite range partitioning (Section 2.2),
+3. encodes every column with the *double dictionary* layout of
+   Section 2.3: one global dictionary per column, and per chunk a
+   chunk-dictionary plus an elements array, with the Section 3
+   optimized encodings when enabled.
+
+Queries execute per Section 2.4: restriction analysis decides which
+chunks are active (skipped / fully active / partially active), fully
+active chunks can be served from the chunk-result cache (Section 6),
+and scanned chunks run the vectorized ``counts[elements[row]]++``
+group-by loop of :mod:`repro.core.engine`.
+
+Expressions are never evaluated per-row at query time: any non-field
+scalar expression is *materialized once* as a virtual field stored in
+the same format as original columns (Section 5 "Complex Expressions"),
+after which restrictions on it can skip chunks like any other field.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.engine import (
+    ChunkData,
+    PresenceAggregator,
+    build_aggregator,
+)
+from repro.core.expr_eval import evaluate
+from repro.core.plan import is_aggregation_query, plan_group_query, resolve_group_aliases
+from repro.core.restriction import ChunkStatus, compile_restriction
+from repro.core.result import QueryResult, ScanStats, finalize
+from repro.core.table import Table
+from repro.errors import BindError, ExecutionError, UnsupportedQueryError
+from repro.partition.codes import factorize
+from repro.partition.composite import PartitionSpec, partition_table
+from repro.partition.reorder import lexicographic_order, reorder_table
+from repro.sketches.hashing import hash_to_unit
+from repro.sql.ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    Expr,
+    FieldRef,
+    FuncCall,
+    InList,
+    Literal,
+    Query,
+    Star,
+    UnaryOp,
+    referenced_fields,
+    walk,
+)
+from repro.sql.parser import parse_query
+from repro.storage.chunk import ColumnChunk
+from repro.storage.dictionary import (
+    Dictionary,
+    NumericDictionary,
+    SortedStringDictionary,
+    SortedTupleDictionary,
+)
+from repro.storage.trie import TrieDictionary
+
+
+@dataclass(frozen=True)
+class DataStoreOptions:
+    """Import/runtime knobs, mirroring the paper's optimization steps.
+
+    The ablation benches toggle these to reproduce the Section 3
+    tables: ``Basic`` = no partitioning, no optimized encodings;
+    ``Chunks`` adds partitioning; ``OptCols`` adds element encodings;
+    ``OptDicts`` adds trie/packed dictionaries; ``Reorder`` adds the
+    lexicographic row reorder.
+    """
+
+    table_name: str = "data"
+    partition_fields: tuple[str, ...] | None = None
+    max_chunk_rows: int = 50_000
+    reorder_rows: bool = False
+    optimized_columns: bool = True
+    optimized_dicts: bool = True
+    cache_chunk_results: bool = True
+
+
+class FieldStore:
+    """One column's storage: global dictionary + per-chunk data."""
+
+    def __init__(
+        self,
+        name: str,
+        dictionary: Dictionary,
+        chunks: list[ColumnChunk],
+        virtual: bool = False,
+    ) -> None:
+        self.name = name
+        self.dictionary = dictionary
+        self.chunks = chunks
+        self.virtual = virtual
+        self._row_gids: list[np.ndarray | None] = [None] * len(chunks)
+        self._value_array: np.ndarray | None = None
+        self._numeric_values: np.ndarray | None = None
+        self._hash_units: np.ndarray | None = None
+
+    # -- per-chunk row data -------------------------------------------------
+    def row_global_ids(self, chunk_index: int) -> np.ndarray:
+        """Per-row global-ids of one chunk (cached)."""
+        cached = self._row_gids[chunk_index]
+        if cached is None:
+            cached = self.chunks[chunk_index].row_global_ids()
+            self._row_gids[chunk_index] = cached
+        return cached
+
+    def element_array(self, chunk_index: int) -> np.ndarray:
+        """Per-row chunk-ids of one chunk (the raw elements)."""
+        return self.chunks[chunk_index].elements.as_array()
+
+    # -- dictionary-derived caches -------------------------------------------
+    def value_array(self) -> np.ndarray:
+        """All dictionary values as an object array indexed by gid."""
+        if self._value_array is None:
+            values = self.dictionary.values()
+            array = np.empty(len(values), dtype=object)
+            for index, value in enumerate(values):
+                array[index] = value
+            self._value_array = array
+        return self._value_array
+
+    def numeric_values(self) -> np.ndarray:
+        """Dictionary values as float64 (NaN for NULL), for SUM/AVG."""
+        if self._numeric_values is None:
+            values = self.dictionary.values()
+            out = np.empty(len(values), dtype=np.float64)
+            for index, value in enumerate(values):
+                if value is None:
+                    out[index] = np.nan
+                elif isinstance(value, (int, float)):
+                    out[index] = float(value)
+                else:
+                    raise ExecutionError(
+                        f"field {self.name!r} is not numeric "
+                        f"(found {type(value).__name__})"
+                    )
+            self._numeric_values = out
+        return self._numeric_values
+
+    def hash_units(self) -> np.ndarray:
+        """Per-gid value hashes in [0, 1), for KMV sketches."""
+        if self._hash_units is None:
+            self._hash_units = np.array(
+                [hash_to_unit(v) for v in self.dictionary.values()],
+                dtype=np.float64,
+            )
+        return self._hash_units
+
+    # -- size accounting --------------------------------------------------------
+    def dictionary_size_bytes(self) -> int:
+        return self.dictionary.size_bytes()
+
+    def chunk_dicts_size_bytes(self) -> int:
+        return sum(chunk.dict_size_bytes() for chunk in self.chunks)
+
+    def elements_size_bytes(self) -> int:
+        return sum(chunk.elements_size_bytes() for chunk in self.chunks)
+
+    def size_bytes(self) -> int:
+        """Total encoded footprint of this field."""
+        return (
+            self.dictionary_size_bytes()
+            + self.chunk_dicts_size_bytes()
+            + self.elements_size_bytes()
+        )
+
+
+def _coerce(value: Any) -> Any:
+    """Normalize evaluator outputs into storable dictionary values."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _dictionary_from_ordered(
+    ordered: list[Any], optimized: bool
+) -> Dictionary:
+    """Build a dictionary from sorted-distinct values (None first)."""
+    has_null = bool(ordered) and ordered[0] is None
+    non_null = ordered[1:] if has_null else list(ordered)
+    if non_null and isinstance(non_null[0], str):
+        if optimized:
+            return TrieDictionary.from_sorted(non_null, has_null=has_null)
+        return SortedStringDictionary(non_null, has_null=has_null)
+    if non_null and isinstance(non_null[0], tuple):
+        return SortedTupleDictionary(non_null, has_null=has_null)
+    if non_null and any(isinstance(v, float) for v in non_null):
+        array = np.asarray(non_null, dtype=np.float64)
+    else:
+        array = np.asarray(non_null, dtype=np.int64)
+    return NumericDictionary(array, has_null=has_null, optimized=optimized)
+
+
+class DataStore:
+    """The column-store: holds encoded fields, answers SQL queries."""
+
+    def __init__(
+        self,
+        options: DataStoreOptions,
+        n_rows: int,
+        chunk_row_counts: list[int],
+        fields: dict[str, FieldStore],
+    ) -> None:
+        self.options = options
+        self.n_rows = n_rows
+        self.chunk_row_counts = chunk_row_counts
+        self.fields = fields
+        self._virtual_by_sql: dict[str, str] = {}
+        self._chunk_cache: dict[tuple, Any] = {}
+        self._original_fields = [
+            name for name, store in fields.items() if not store.virtual
+        ]
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls, table: Table, options: DataStoreOptions | None = None
+    ) -> "DataStore":
+        """Run the import phase over ``table``."""
+        options = options or DataStoreOptions()
+        if options.partition_fields and options.reorder_rows:
+            order = lexicographic_order(table, list(options.partition_fields))
+            table = reorder_table(table, order)
+        if options.partition_fields:
+            spec = PartitionSpec(
+                tuple(options.partition_fields), options.max_chunk_rows
+            )
+            chunk_rows = partition_table(table, spec)
+        else:
+            chunk_rows = [np.arange(table.n_rows, dtype=np.int64)]
+        fields: dict[str, FieldStore] = {}
+        for name in table.field_names:
+            codes, ordered = factorize(table.column(name))
+            dictionary = _dictionary_from_ordered(
+                ordered, options.optimized_dicts
+            )
+            chunks = [
+                ColumnChunk.from_global_ids(
+                    codes[rows], optimized=options.optimized_columns
+                )
+                for rows in chunk_rows
+            ]
+            fields[name] = FieldStore(name, dictionary, chunks)
+        return cls(
+            options,
+            table.n_rows,
+            [int(rows.size) for rows in chunk_rows],
+            fields,
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_row_counts)
+
+    def field(self, name: str) -> FieldStore:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise BindError(
+                f"unknown field {name!r}; store has "
+                f"{sorted(self._original_fields)}"
+            ) from None
+
+    # -- virtual fields (Section 5 "Complex Expressions") -------------------------
+    def ensure_field(self, expr: Expr) -> str:
+        """Return a field name computing ``expr``, materializing if new."""
+        if isinstance(expr, FieldRef):
+            self.field(expr.name)
+            return expr.name
+        if isinstance(expr, Literal):
+            return self._materialize_constant(expr)
+        key = expr.sql()
+        existing = self._virtual_by_sql.get(key)
+        if existing is not None:
+            return existing
+        for node in walk(expr):
+            if isinstance(node, (Aggregate, Star)):
+                raise UnsupportedQueryError(
+                    f"cannot materialize aggregate expression {key}"
+                )
+        refs = sorted(referenced_fields(expr))
+        for ref in refs:
+            self.field(ref)
+        if not refs:
+            return self._materialize_constant(expr)
+        if len(refs) == 1:
+            name = self._materialize_single(expr, refs[0])
+        else:
+            name = self._materialize_multi(expr, refs)
+        self._virtual_by_sql[key] = name
+        return name
+
+    def _register_virtual(
+        self, dictionary: Dictionary, chunks: list[ColumnChunk]
+    ) -> str:
+        name = f"__v{sum(1 for f in self.fields.values() if f.virtual)}"
+        self.fields[name] = FieldStore(name, dictionary, chunks, virtual=True)
+        return name
+
+    def _materialize_constant(self, expr: Expr) -> str:
+        key = expr.sql()
+        existing = self._virtual_by_sql.get(key)
+        if existing is not None:
+            return existing
+        value = _coerce(evaluate(expr, lambda n: None))
+        ordered = [value]
+        dictionary = _dictionary_from_ordered(
+            ordered, self.options.optimized_dicts
+        )
+        chunks = [
+            ColumnChunk.from_global_ids(
+                np.zeros(count, dtype=np.uint32),
+                optimized=self.options.optimized_columns,
+            )
+            for count in self.chunk_row_counts
+        ]
+        name = self._register_virtual(dictionary, chunks)
+        self._virtual_by_sql[key] = name
+        return name
+
+    def _materialize_single(self, expr: Expr, ref: str) -> str:
+        """Materialize an expression over one field.
+
+        Computed once per *distinct value* of the input field — the
+        reason Query 2's ``date(timestamp)`` is nearly free here.
+        """
+        source = self.field(ref)
+        results = [
+            _coerce(evaluate(expr, lambda __, v=value: v))
+            for value in source.dictionary.values()
+        ]
+        codes, ordered = factorize_values(results)
+        dictionary = _dictionary_from_ordered(ordered, self.options.optimized_dicts)
+        chunks = [
+            ColumnChunk.from_global_ids(
+                codes[source.row_global_ids(i)].astype(np.uint32),
+                optimized=self.options.optimized_columns,
+            )
+            for i in range(self.n_chunks)
+        ]
+        return self._register_virtual(dictionary, chunks)
+
+    def _materialize_multi(self, expr: Expr, refs: list[str]) -> str:
+        """Materialize a multi-field expression (cached per gid tuple)."""
+        sources = [self.field(ref) for ref in refs]
+        value_arrays = [source.value_array() for source in sources]
+        cache: dict[tuple[int, ...], Any] = {}
+        per_chunk_results: list[list[Any]] = []
+        for chunk_index in range(self.n_chunks):
+            gid_arrays = [
+                source.row_global_ids(chunk_index) for source in sources
+            ]
+            n = self.chunk_row_counts[chunk_index]
+            out: list[Any] = [None] * n
+            for row in range(n):
+                key = tuple(int(g[row]) for g in gid_arrays)
+                if key in cache:
+                    out[row] = cache[key]
+                else:
+                    env = {
+                        ref: value_arrays[j][key[j]]
+                        for j, ref in enumerate(refs)
+                    }
+                    result = _coerce(evaluate(expr, env.__getitem__))
+                    cache[key] = result
+                    out[row] = result
+            per_chunk_results.append(out)
+        flat: list[Any] = [r for chunk in per_chunk_results for r in chunk]
+        codes, ordered = factorize_values(flat)
+        dictionary = _dictionary_from_ordered(ordered, self.options.optimized_dicts)
+        chunks = []
+        offset = 0
+        for count in self.chunk_row_counts:
+            chunk_codes = codes[offset : offset + count].astype(np.uint32)
+            offset += count
+            chunks.append(
+                ColumnChunk.from_global_ids(
+                    chunk_codes, optimized=self.options.optimized_columns
+                )
+            )
+        return self._register_virtual(dictionary, chunks)
+
+    def ensure_composite_field(self, member_names: list[str]) -> str:
+        """Combine several fields into one tuple-valued virtual field.
+
+        Footnote 5: "multiple group-by fields are combined into one
+        expression which is materialized in the datastore as an
+        additional 'virtual' column."
+        """
+        key = "__tuple(" + ", ".join(member_names) + ")"
+        existing = self._virtual_by_sql.get(key)
+        if existing is not None:
+            return existing
+        members = [self.field(name) for name in member_names]
+        stacked = np.concatenate(
+            [
+                np.stack(
+                    [m.row_global_ids(i).astype(np.int64) for m in members],
+                    axis=1,
+                )
+                for i in range(self.n_chunks)
+            ]
+        )
+        unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        values = [
+            tuple(
+                member.dictionary.value(int(gid))
+                for member, gid in zip(members, row)
+            )
+            for row in unique_rows
+        ]
+        dictionary = SortedTupleDictionary(values, has_null=False)
+        chunks = []
+        offset = 0
+        for count in self.chunk_row_counts:
+            chunk_codes = inverse[offset : offset + count].astype(np.uint32)
+            offset += count
+            chunks.append(
+                ColumnChunk.from_global_ids(
+                    chunk_codes, optimized=self.options.optimized_columns
+                )
+            )
+        name = self._register_virtual(dictionary, chunks)
+        self._virtual_by_sql[key] = name
+        return name
+
+    # -- size accounting -----------------------------------------------------------
+    def memory_usage(self, field_names: list[str]) -> dict[str, int]:
+        """Encoded-bytes breakdown over ``field_names`` (the paper's MB)."""
+        dictionaries = 0
+        chunk_dicts = 0
+        elements = 0
+        for name in field_names:
+            store = self.field(name)
+            dictionaries += store.dictionary_size_bytes()
+            chunk_dicts += store.chunk_dicts_size_bytes()
+            elements += store.elements_size_bytes()
+        return {
+            "dictionaries": dictionaries,
+            "chunk_dicts": chunk_dicts,
+            "elements": elements,
+            "elements_and_chunk_dicts": chunk_dicts + elements,
+            "total": dictionaries + chunk_dicts + elements,
+        }
+
+    def total_size_bytes(self) -> int:
+        """Encoded footprint of all original (non-virtual) fields."""
+        return sum(
+            self.fields[name].size_bytes() for name in self._original_fields
+        )
+
+    # -- query execution -------------------------------------------------------------
+    def execute(self, query: Query | str) -> QueryResult:
+        """Run a query, returning its result table and scan statistics."""
+        started = time.perf_counter()
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.table != self.options.table_name:
+            raise ExecutionError(
+                f"query targets table {parsed.table!r}, store holds "
+                f"{self.options.table_name!r}"
+            )
+        parsed = resolve_group_aliases(parsed)
+
+        accessed: set[str] = set()
+
+        def ensure(expr: Expr) -> str:
+            name = self.ensure_field(expr)
+            accessed.add(name)
+            return name
+
+        stats = ScanStats(
+            rows_total=self.n_rows, chunks_total=self.n_chunks
+        )
+        restriction = compile_restriction(
+            parsed.where,
+            ensure,
+            lambda name: self.field(name).dictionary,
+            lambda name: self.field(name).chunks,
+            lambda name, index: self.field(name).element_array(index),
+        )
+
+        if is_aggregation_query(parsed):
+            rows = self._execute_grouped(parsed, restriction, ensure, stats)
+        else:
+            rows = self._execute_projection(parsed, restriction, ensure, stats)
+
+        table = finalize(rows, parsed)
+        stats.fields_accessed = tuple(sorted(accessed))
+        stats.cells_scanned = stats.rows_scanned * max(len(accessed), 1)
+        stats.memory_bytes = sum(
+            self.field(name).size_bytes() for name in accessed
+        )
+        elapsed = time.perf_counter() - started
+        return QueryResult(table=table, stats=stats, elapsed_seconds=elapsed)
+
+    # -- grouped path ----------------------------------------------------------------
+    def _aggregate_query(self, parsed, restriction, ensure, stats):
+        """Run the chunk loop; returns everything needed to finalize.
+
+        Shared by local execution (:meth:`_execute_grouped`) and the
+        distributed layer's partial execution
+        (:meth:`execute_partials`).
+        """
+        plan = plan_group_query(parsed)
+        group_exprs = list(plan.group_exprs)
+        group_names = [ensure(expr) for expr in group_exprs]
+        if len(group_names) > 1:
+            group_field_name = self.ensure_composite_field(group_names)
+            ensure(FieldRef(group_field_name))
+        elif group_names:
+            group_field_name = group_names[0]
+        else:
+            group_field_name = None
+        group_field = (
+            self.field(group_field_name) if group_field_name else None
+        )
+        n_groups = len(group_field.dictionary) if group_field else 1
+
+        agg_order = list(plan.aggregates)
+        plan_items = list(plan.items)
+
+        # Build aggregators; resolve argument fields.
+        presence = PresenceAggregator(n_groups)
+        aggregators = []
+        arg_names: list[str | None] = []
+        for agg in agg_order:
+            if isinstance(agg.arg, Star):
+                arg_name = None
+                arg_field = None
+            else:
+                arg_name = ensure(agg.arg)
+                arg_field = self.field(arg_name)
+            arg_names.append(arg_name)
+            aggregators.append(build_aggregator(agg, n_groups, arg_field))
+
+        signature = (
+            group_field_name,
+            tuple(agg.sql() for agg in agg_order),
+        )
+
+        for chunk_index in range(self.n_chunks):
+            chunk_rows = self.chunk_row_counts[chunk_index]
+            decision = restriction.decide(chunk_index)
+            if decision.status is ChunkStatus.SKIP:
+                stats.chunks_skipped += 1
+                stats.rows_skipped += chunk_rows
+                continue
+            if decision.status is ChunkStatus.FULL:
+                cache_key = (signature, chunk_index)
+                if self.options.cache_chunk_results:
+                    cached = self._chunk_cache.get(cache_key)
+                    if cached is not None:
+                        stats.chunks_cached += 1
+                        stats.rows_cached += chunk_rows
+                        presence.apply(cached[0])
+                        for aggregator, partial in zip(aggregators, cached[1:]):
+                            aggregator.apply(partial)
+                        continue
+                partials = self._compute_partials(
+                    chunk_index, group_field, aggregators, arg_names,
+                    presence, mask=None,
+                )
+                if self.options.cache_chunk_results:
+                    self._chunk_cache[cache_key] = partials
+            else:
+                partials = self._compute_partials(
+                    chunk_index, group_field, aggregators, arg_names,
+                    presence, mask=decision.row_mask,
+                )
+            stats.chunks_scanned += 1
+            stats.rows_scanned += chunk_rows
+            presence.apply(partials[0])
+            for aggregator, partial in zip(aggregators, partials[1:]):
+                aggregator.apply(partial)
+
+        if group_field is None:
+            present = np.array([True])
+        else:
+            present = presence.counts > 0
+        return plan, group_exprs, group_field, presence, aggregators, present
+
+    def _execute_grouped(self, parsed, restriction, ensure, stats):
+        plan, group_exprs, group_field, presence, aggregators, present = (
+            self._aggregate_query(parsed, restriction, ensure, stats)
+        )
+        agg_order = list(plan.aggregates)
+        plan_items = list(plan.items)
+        agg_results = [agg.results(present) for agg in aggregators]
+        count_results = presence.results(present)
+
+        present_gids = np.flatnonzero(present)
+        positions = _topk_positions(
+            parsed, plan, present_gids, agg_results
+        )
+        if positions is None:
+            positions = range(len(present_gids))
+
+        rows: list[dict[str, Any]] = []
+        for position in positions:
+            gid = present_gids[position]
+            env: dict[str, Any] = {}
+            if group_field is not None:
+                group_value = group_field.dictionary.value(int(gid))
+                if len(group_exprs) > 1:
+                    for i, member in enumerate(group_value):
+                        env[f"__group_{i}"] = member
+                else:
+                    env["__group_0"] = group_value
+            for j in range(len(agg_order)):
+                env[f"__agg_{j}"] = agg_results[j][position]
+            env["__count_star"] = count_results[position]
+            row = {
+                name: evaluate(expr, env.__getitem__)
+                for name, expr in plan_items
+            }
+            rows.append(row)
+        return rows
+
+    def execute_partials(self, query: Query | str):
+        """Execute the shard-local part of a distributed query.
+
+        Returns ``(stats, groups)`` where ``groups`` maps a NULL-safe
+        group key to ``(group_values, [AggState, ...])``. The states
+        are mergeable across shards (Section 4's multi-level
+        aggregation); the computation tree merges them level by level
+        and the root finalizes. Plain projection queries return
+        ``(stats, rows)`` with ``rows`` a list of output dicts instead.
+        """
+        from repro.core.engine import aggregator_states
+
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.table != self.options.table_name:
+            raise ExecutionError(
+                f"query targets table {parsed.table!r}, store holds "
+                f"{self.options.table_name!r}"
+            )
+        parsed = resolve_group_aliases(parsed)
+        accessed: set[str] = set()
+
+        def ensure(expr: Expr) -> str:
+            name = self.ensure_field(expr)
+            accessed.add(name)
+            return name
+
+        stats = ScanStats(rows_total=self.n_rows, chunks_total=self.n_chunks)
+        restriction = compile_restriction(
+            parsed.where,
+            ensure,
+            lambda name: self.field(name).dictionary,
+            lambda name: self.field(name).chunks,
+            lambda name, index: self.field(name).element_array(index),
+        )
+        if not is_aggregation_query(parsed):
+            rows = self._execute_projection(parsed, restriction, ensure, stats)
+            stats.fields_accessed = tuple(sorted(accessed))
+            stats.cells_scanned = stats.rows_scanned * max(len(accessed), 1)
+            stats.memory_bytes = sum(
+                self.field(name).size_bytes() for name in accessed
+            )
+            return stats, rows
+
+        plan, group_exprs, group_field, presence, aggregators, present = (
+            self._aggregate_query(parsed, restriction, ensure, stats)
+        )
+        state_lists = [
+            aggregator_states(aggregator, present) for aggregator in aggregators
+        ]
+        groups: dict[tuple, tuple[tuple, list]] = {}
+        for position, gid in enumerate(np.flatnonzero(present)):
+            if group_field is None:
+                values: tuple = ()
+            else:
+                value = group_field.dictionary.value(int(gid))
+                values = value if len(group_exprs) > 1 else (value,)
+            key = tuple((v is not None, v) for v in values)
+            groups[key] = (
+                values,
+                [states[position] for states in state_lists],
+            )
+        if group_field is None and not groups:
+            groups[()] = ((), [])
+        stats.fields_accessed = tuple(sorted(accessed))
+        stats.cells_scanned = stats.rows_scanned * max(len(accessed), 1)
+        stats.memory_bytes = sum(
+            self.field(name).size_bytes() for name in accessed
+        )
+        return stats, groups
+
+    def _compute_partials(
+        self, chunk_index, group_field, aggregators, arg_names, presence, mask
+    ):
+        if group_field is not None:
+            group_ids = group_field.row_global_ids(chunk_index).astype(np.int64)
+        else:
+            group_ids = np.zeros(
+                self.chunk_row_counts[chunk_index], dtype=np.int64
+            )
+        data = ChunkData(group_ids=group_ids, mask=mask)
+        partials = [presence.chunk_partial(data, None)]
+        for aggregator, arg_name in zip(aggregators, arg_names):
+            arg_ids = (
+                self.field(arg_name).row_global_ids(chunk_index).astype(np.int64)
+                if arg_name is not None
+                else None
+            )
+            partials.append(aggregator.chunk_partial(data, arg_ids))
+        return partials
+
+    # -- projection path -----------------------------------------------------------
+    def _execute_projection(self, parsed, restriction, ensure, stats):
+        item_fields = [
+            (item.output_name(), ensure(item.expr)) for item in parsed.select
+        ]
+        rows: list[dict[str, Any]] = []
+        for chunk_index in range(self.n_chunks):
+            chunk_rows = self.chunk_row_counts[chunk_index]
+            decision = restriction.decide(chunk_index)
+            if decision.status is ChunkStatus.SKIP:
+                stats.chunks_skipped += 1
+                stats.rows_skipped += chunk_rows
+                continue
+            stats.chunks_scanned += 1
+            stats.rows_scanned += chunk_rows
+            columns = {}
+            for name, field_name in item_fields:
+                store = self.field(field_name)
+                gids = store.row_global_ids(chunk_index)
+                if decision.row_mask is not None:
+                    gids = gids[decision.row_mask]
+                columns[name] = store.value_array()[gids]
+            n = next(iter(columns.values())).size if columns else 0
+            for row_index in range(n):
+                rows.append(
+                    {name: columns[name][row_index] for name, __ in item_fields}
+                )
+        return rows
+
+
+def factorize_values(values: list[Any]) -> tuple[np.ndarray, list[Any]]:
+    """Factorize a raw value list into (codes, sorted distinct values).
+
+    None sorts first; mixed int/float are ordered numerically. This is
+    the list-input twin of :func:`repro.partition.codes.factorize`.
+    """
+    distinct = set(values)
+    has_null = None in distinct
+    distinct.discard(None)
+    ordered: list[Any] = ([None] if has_null else []) + sorted(distinct)
+    rank = {value: code for code, value in enumerate(ordered)}
+    codes = np.fromiter(
+        (rank[value] for value in values), dtype=np.int64, count=len(values)
+    )
+    return codes, ordered
+
+
+
+def _topk_positions(parsed, plan, present_gids, agg_results):
+    """The paper's top-k shortcut: pick LIMIT groups before value lookup.
+
+    "After identifying the top 10 chunk-ids for table_name integers (by
+    sorting all chunk-ids by their counts after the inner loop), the
+    original table name string values need to be looked up in the
+    dictionary" — i.e. dictionary lookups happen only for the groups
+    that survive ORDER BY ... LIMIT k.
+
+    Applicable when the final ordering is computable from aggregate
+    values and group *global-ids* alone (global-ids are ranks, so
+    ordering by gid equals ordering by group value). Returns the
+    selected positions into ``present_gids`` or None to take the
+    general path. The composite key replicates the deterministic order
+    of :func:`repro.core.result.finalize` exactly: explicit ORDER BY
+    keys first, then the implicit tie-break (output columns ascending),
+    with the unique gid last — so the selected set and order match the
+    general path, which re-sorts the survivors identically.
+    """
+    import heapq
+
+    if parsed.limit is None or parsed.having is not None:
+        return None
+    if len(plan.group_exprs) != 1 or parsed.limit >= present_gids.size:
+        return None
+
+    out_expr = {name: expr for name, expr in plan.items}
+    select_sql_to_expr = {
+        item.expr.sql(): expr
+        for item, (__, expr) in zip(parsed.select, plan.items)
+    }
+
+    def classify(expr):
+        """'gid' | 'agg' | None (None = needs group values, bail out)."""
+        refs = {
+            node.name for node in walk(expr) if isinstance(node, FieldRef)
+        }
+        if isinstance(expr, FieldRef) and refs == {"__group_0"}:
+            return "gid"
+        if any(name.startswith("__group") for name in refs):
+            return None
+        return "agg"
+
+    def resolve_order_expr(expr):
+        rendered = expr.sql()
+        if rendered in select_sql_to_expr:
+            return select_sql_to_expr[rendered]
+        if isinstance(expr, FieldRef) and expr.name in out_expr:
+            return out_expr[expr.name]
+        return None
+
+    # (kind, expr, descending): explicit keys then implicit tie-break.
+    key_specs = []
+    for item in parsed.order_by:
+        resolved = resolve_order_expr(item.expr)
+        if resolved is None:
+            return None
+        kind = classify(resolved)
+        if kind is None:
+            return None
+        key_specs.append((kind, resolved, item.descending))
+    for __, expr in plan.items:
+        kind = classify(expr)
+        if kind is None:
+            return None
+        key_specs.append((kind, expr, False))
+    key_specs.append(("gid", None, False))
+
+    n = present_gids.size
+    keys = []
+    for position in range(n):
+        env = {
+            f"__agg_{j}": agg_results[j][position]
+            for j in range(len(plan.aggregates))
+        }
+        parts = []
+        for kind, expr, descending in key_specs:
+            if kind == "gid":
+                value = int(present_gids[position])
+            else:
+                value = evaluate(expr, env.__getitem__)
+            if descending:
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    return None  # cannot invert non-numeric keys
+                value = -value
+            elif value is None:
+                return None  # NULL ordering: take the general path
+            parts.append(value)
+        keys.append(tuple(parts))
+    order = heapq.nsmallest(
+        parsed.limit, range(n), key=keys.__getitem__
+    )
+    return order

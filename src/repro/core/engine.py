@@ -1,0 +1,490 @@
+"""Vectorized per-chunk aggregation — the Section 2.4 inner loop.
+
+"To evaluate the group-by statement per chunk, an integer array counts
+with the same size as the chunk-dictionary is created. We then add up
+the counts in a loop over the elements, i.e.,
+``counts[elements[row]]++``."
+
+Each aggregator here computes a compact per-chunk *partial* (the
+numpy equivalent of that loop — ``np.bincount`` over chunk-ids /
+global-ids) and then folds partials into global per-group accumulators
+keyed by the group field's global-ids. Partials are self-contained and
+reusable, which is what the chunk-result cache of Section 6 stores:
+a fully-active chunk's partial does not depend on the WHERE clause, so
+later queries that fully cover the chunk reuse it without rescanning.
+
+Group keys are global-ids of the group field, so merging across chunks
+(and across shards, in the distributed layer) is plain integer-indexed
+accumulation — no hash tables in the hot path, which is exactly the
+advantage the paper measures in its Query 1/3 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sketches.kmv import KmvSketch
+from repro.sql.ast_nodes import Aggregate, Star
+
+
+@dataclass
+class ChunkData:
+    """Per-chunk inputs handed to the aggregators.
+
+    ``group_ids``: the group field's global-id per row (all zeros when
+    the query has no GROUP BY). ``mask``: boolean row filter, or None
+    when the chunk is fully active.
+    """
+
+    group_ids: np.ndarray
+    mask: np.ndarray | None
+
+    def masked_group_ids(self) -> np.ndarray:
+        if self.mask is None:
+            return self.group_ids
+        return self.group_ids[self.mask]
+
+
+class ColumnarAggregator:
+    """Base: per-chunk partial computation + global accumulation."""
+
+    def __init__(self, n_groups: int) -> None:
+        self.n_groups = n_groups
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None) -> Any:
+        """Compute this aggregate's partial for one chunk.
+
+        ``arg_ids`` is the argument field's global-id per row (None for
+        COUNT(*)).
+        """
+        raise NotImplementedError
+
+    def apply(self, partial: Any) -> None:
+        """Fold a partial into the global accumulators."""
+        raise NotImplementedError
+
+    def results(self, present: np.ndarray) -> list[Any]:
+        """Final value for each present group (ascending gid order)."""
+        raise NotImplementedError
+
+
+def _sparse_bincount(
+    ids: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(unique ids, per-id totals) — a compact bincount."""
+    if not ids.size:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    unique, inverse = np.unique(ids, return_inverse=True)
+    if weights is None:
+        totals = np.bincount(inverse, minlength=unique.size)
+    else:
+        totals = np.bincount(inverse, weights=weights, minlength=unique.size)
+    return unique.astype(np.int64), totals
+
+
+class PresenceAggregator(ColumnarAggregator):
+    """Row count per group: powers COUNT(*) and group presence."""
+
+    def __init__(self, n_groups: int) -> None:
+        super().__init__(n_groups)
+        self.counts = np.zeros(n_groups, dtype=np.int64)
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        return _sparse_bincount(data.masked_group_ids())
+
+    def apply(self, partial) -> None:
+        gids, totals = partial
+        self.counts[gids] += totals.astype(np.int64)
+
+    def results(self, present: np.ndarray) -> list[int]:
+        return [int(c) for c in self.counts[present]]
+
+
+class CountValueAggregator(ColumnarAggregator):
+    """COUNT(x): non-NULL rows per group."""
+
+    def __init__(self, n_groups: int, arg_has_null: bool) -> None:
+        super().__init__(n_groups)
+        self.arg_has_null = arg_has_null
+        self.counts = np.zeros(n_groups, dtype=np.int64)
+
+    def _valid(self, data: ChunkData, arg_ids: np.ndarray) -> np.ndarray:
+        valid = arg_ids != 0 if self.arg_has_null else np.ones(
+            arg_ids.shape, dtype=bool
+        )
+        if data.mask is not None:
+            valid = valid & data.mask
+        return valid
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        valid = self._valid(data, arg_ids)
+        return _sparse_bincount(data.group_ids[valid])
+
+    def apply(self, partial) -> None:
+        gids, totals = partial
+        self.counts[gids] += totals.astype(np.int64)
+
+    def results(self, present: np.ndarray) -> list[int]:
+        return [int(c) for c in self.counts[present]]
+
+
+class SumAggregator(ColumnarAggregator):
+    """SUM(x) (and the sum half of AVG)."""
+
+    def __init__(
+        self, n_groups: int, numeric_values: np.ndarray, arg_has_null: bool
+    ) -> None:
+        super().__init__(n_groups)
+        self.numeric_values = numeric_values  # per-gid float64
+        self.arg_has_null = arg_has_null
+        self.totals = np.zeros(n_groups, dtype=np.float64)
+        self.counts = np.zeros(n_groups, dtype=np.int64)
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        valid = arg_ids != 0 if self.arg_has_null else np.ones(
+            arg_ids.shape, dtype=bool
+        )
+        if data.mask is not None:
+            valid = valid & data.mask
+        group_ids = data.group_ids[valid]
+        values = self.numeric_values[arg_ids[valid]]
+        gids, totals = _sparse_bincount(group_ids, weights=values)
+        __, counts = _sparse_bincount(group_ids)
+        return gids, totals, counts
+
+    def apply(self, partial) -> None:
+        gids, totals, counts = partial
+        self.totals[gids] += totals
+        self.counts[gids] += counts.astype(np.int64)
+
+    def results(self, present: np.ndarray) -> list[float | None]:
+        out: list[float | None] = []
+        for total, count in zip(self.totals[present], self.counts[present]):
+            out.append(float(total) if count else None)
+        return out
+
+
+class AvgAggregator(SumAggregator):
+    """AVG(x) = SUM(x) / COUNT(x)."""
+
+    def results(self, present: np.ndarray) -> list[float | None]:
+        out: list[float | None] = []
+        for total, count in zip(self.totals[present], self.counts[present]):
+            out.append(float(total) / int(count) if count else None)
+        return out
+
+
+class _ExtremeAggregator(ColumnarAggregator):
+    """Shared MIN/MAX machinery over *global-ids*.
+
+    Global-ids are ranks, so the minimum value in a group is the value
+    of its minimum global-id — MIN/MAX work on any dictionary type
+    (strings included) without touching the values until the very end.
+    """
+
+    _is_min = True
+
+    def __init__(self, n_groups: int, dictionary, arg_has_null: bool) -> None:
+        super().__init__(n_groups)
+        self.dictionary = dictionary
+        self.arg_has_null = arg_has_null
+        sentinel = np.iinfo(np.int64).max if self._is_min else -1
+        self.best = np.full(n_groups, sentinel, dtype=np.int64)
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        valid = arg_ids != 0 if self.arg_has_null else np.ones(
+            arg_ids.shape, dtype=bool
+        )
+        if data.mask is not None:
+            valid = valid & data.mask
+        group_ids = data.group_ids[valid]
+        values = arg_ids[valid].astype(np.int64)
+        if not group_ids.size:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        # Sort by (group, value); the first row per group is its min,
+        # the last its max — one vectorized pass, no scatter loop.
+        order = np.lexsort((values, group_ids))
+        sorted_groups = group_ids[order]
+        sorted_values = values[order]
+        if self._is_min:
+            firsts = np.ones(sorted_groups.size, dtype=bool)
+            firsts[1:] = sorted_groups[1:] != sorted_groups[:-1]
+            return sorted_groups[firsts], sorted_values[firsts]
+        lasts = np.ones(sorted_groups.size, dtype=bool)
+        lasts[:-1] = sorted_groups[1:] != sorted_groups[:-1]
+        return sorted_groups[lasts], sorted_values[lasts]
+
+    def apply(self, partial) -> None:
+        gids, values = partial
+        if not gids.size:
+            return
+        if self._is_min:
+            np.minimum.at(self.best, gids, values)
+        else:
+            np.maximum.at(self.best, gids, values)
+
+    def results(self, present: np.ndarray) -> list[Any]:
+        sentinel = np.iinfo(np.int64).max if self._is_min else -1
+        out: list[Any] = []
+        for best in self.best[present]:
+            out.append(None if best == sentinel else self.dictionary.value(int(best)))
+        return out
+
+
+class MinAggregator(_ExtremeAggregator):
+    _is_min = True
+
+
+class MaxAggregator(_ExtremeAggregator):
+    _is_min = False
+
+
+class CountDistinctAggregator(ColumnarAggregator):
+    """Exact COUNT(DISTINCT x) via global (group, value) pair dedup."""
+
+    def __init__(self, n_groups: int, dictionary, arg_has_null: bool) -> None:
+        super().__init__(n_groups)
+        self.dictionary = dictionary
+        self.arg_has_null = arg_has_null
+        self._pair_chunks: list[np.ndarray] = []
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        valid = arg_ids != 0 if self.arg_has_null else np.ones(
+            arg_ids.shape, dtype=bool
+        )
+        if data.mask is not None:
+            valid = valid & data.mask
+        pairs = (data.group_ids[valid].astype(np.int64) << 32) | arg_ids[
+            valid
+        ].astype(np.int64)
+        return np.unique(pairs)
+
+    def apply(self, partial) -> None:
+        self._pair_chunks.append(partial)
+
+    def results(self, present: np.ndarray) -> list[int]:
+        if self._pair_chunks:
+            pairs = np.unique(np.concatenate(self._pair_chunks))
+            groups = (pairs >> 32).astype(np.int64)
+            counts = np.bincount(groups, minlength=self.n_groups)
+        else:
+            counts = np.zeros(self.n_groups, dtype=np.int64)
+        return [int(c) for c in counts[present]]
+
+
+class ApproxCountDistinctAggregator(ColumnarAggregator):
+    """KMV-sketched COUNT DISTINCT (Section 5).
+
+    Per chunk, the distinct (group, value) pairs are known from the
+    dictionaries; each group's sketch folds in the hashes of its
+    distinct values as one vector — the "sorted dictionary" fast path.
+    """
+
+    def __init__(
+        self, n_groups: int, hash_units: np.ndarray, arg_has_null: bool, m: int
+    ) -> None:
+        super().__init__(n_groups)
+        self.hash_units = hash_units  # per-gid hash in [0, 1)
+        self.arg_has_null = arg_has_null
+        self.m = m
+        self._sketches: dict[int, KmvSketch] = {}
+
+    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+        valid = arg_ids != 0 if self.arg_has_null else np.ones(
+            arg_ids.shape, dtype=bool
+        )
+        if data.mask is not None:
+            valid = valid & data.mask
+        pairs = (data.group_ids[valid].astype(np.int64) << 32) | arg_ids[
+            valid
+        ].astype(np.int64)
+        return np.unique(pairs)
+
+    def apply(self, partial) -> None:
+        if not partial.size:
+            return
+        groups = (partial >> 32).astype(np.int64)
+        value_ids = (partial & 0xFFFFFFFF).astype(np.int64)
+        boundaries = np.ones(groups.size, dtype=bool)
+        boundaries[1:] = groups[1:] != groups[:-1]
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], groups.size)
+        for start, end in zip(starts, ends):
+            gid = int(groups[start])
+            sketch = self._sketches.get(gid)
+            if sketch is None:
+                sketch = KmvSketch(self.m)
+                self._sketches[gid] = sketch
+            sketch.add_hash_array(self.hash_units[value_ids[start:end]])
+
+    def results(self, present: np.ndarray) -> list[int]:
+        out: list[int] = []
+        for gid in np.flatnonzero(present):
+            sketch = self._sketches.get(int(gid))
+            out.append(sketch.estimate() if sketch is not None else 0)
+        return out
+
+
+def build_aggregator(
+    agg: Aggregate,
+    n_groups: int,
+    arg_field,  # FieldStore | None
+) -> ColumnarAggregator:
+    """Instantiate the right aggregator for one aggregate expression."""
+    if agg.name == "COUNT":
+        if agg.distinct:
+            if arg_field is None:
+                raise ExecutionError("COUNT DISTINCT requires a field argument")
+            if agg.approximate:
+                return ApproxCountDistinctAggregator(
+                    n_groups,
+                    arg_field.hash_units(),
+                    arg_field.dictionary.has_null,
+                    agg.m,
+                )
+            return CountDistinctAggregator(
+                n_groups, arg_field.dictionary, arg_field.dictionary.has_null
+            )
+        if isinstance(agg.arg, Star):
+            return PresenceAggregator(n_groups)
+        return CountValueAggregator(n_groups, arg_field.dictionary.has_null)
+    if agg.name == "SUM":
+        return SumAggregator(
+            n_groups, arg_field.numeric_values(), arg_field.dictionary.has_null
+        )
+    if agg.name == "AVG":
+        return AvgAggregator(
+            n_groups, arg_field.numeric_values(), arg_field.dictionary.has_null
+        )
+    if agg.name == "MIN":
+        return MinAggregator(
+            n_groups, arg_field.dictionary, arg_field.dictionary.has_null
+        )
+    if agg.name == "MAX":
+        return MaxAggregator(
+            n_groups, arg_field.dictionary, arg_field.dictionary.has_null
+        )
+    raise ExecutionError(f"unsupported aggregate {agg.name!r}")
+
+# -- mergeable state export (for the Section 4 computation tree) ------------
+#
+# Each aggregator can convert its per-group accumulators into the
+# row-level AggStates of repro.core.aggregation. States are mergeable
+# across shards (whose dictionaries differ), so the distributed
+# execution tree aggregates on every level — and exact COUNT DISTINCT /
+# KMV sketches travel as sets/sketches, the paper's Section 5 answer to
+# "we cannot support count distinct by [associative rewrites]".
+
+
+def _presence_states(aggregator: PresenceAggregator, present: np.ndarray):
+    from repro.core.aggregation import CountStarState
+
+    out = []
+    for count in aggregator.counts[present]:
+        state = CountStarState()
+        state.count = int(count)
+        out.append(state)
+    return out
+
+
+def _count_value_states(aggregator: CountValueAggregator, present: np.ndarray):
+    from repro.core.aggregation import CountValueState
+
+    out = []
+    for count in aggregator.counts[present]:
+        state = CountValueState()
+        state.count = int(count)
+        out.append(state)
+    return out
+
+
+def _sum_states(aggregator: SumAggregator, present: np.ndarray):
+    from repro.core.aggregation import AvgState, SumState
+
+    out = []
+    is_avg = isinstance(aggregator, AvgAggregator)
+    for total, count in zip(
+        aggregator.totals[present], aggregator.counts[present]
+    ):
+        if is_avg:
+            state = AvgState()
+            state.total = float(total)
+            state.count = int(count)
+        else:
+            state = SumState()
+            state.total = float(total)
+            state.seen = bool(count)
+        out.append(state)
+    return out
+
+
+def _extreme_states(aggregator: _ExtremeAggregator, present: np.ndarray):
+    from repro.core.aggregation import MaxState, MinState
+
+    sentinel = np.iinfo(np.int64).max if aggregator._is_min else -1
+    out = []
+    for best in aggregator.best[present]:
+        state = MinState() if aggregator._is_min else MaxState()
+        if best != sentinel:
+            state.best = aggregator.dictionary.value(int(best))
+        out.append(state)
+    return out
+
+
+def _count_distinct_states(
+    aggregator: CountDistinctAggregator, present: np.ndarray
+):
+    from repro.core.aggregation import CountDistinctState
+
+    per_group: dict[int, set] = {}
+    if aggregator._pair_chunks:
+        pairs = np.unique(np.concatenate(aggregator._pair_chunks))
+        groups = (pairs >> 32).astype(np.int64)
+        value_ids = (pairs & 0xFFFFFFFF).astype(np.int64)
+        dictionary = aggregator.dictionary
+        for group, value_id in zip(groups, value_ids):
+            per_group.setdefault(int(group), set()).add(
+                dictionary.value(int(value_id))
+            )
+    out = []
+    for gid in np.flatnonzero(present):
+        state = CountDistinctState()
+        state.values = per_group.get(int(gid), set())
+        out.append(state)
+    return out
+
+
+def _approx_states(
+    aggregator: ApproxCountDistinctAggregator, present: np.ndarray
+):
+    from repro.core.aggregation import ApproxCountDistinctState
+
+    out = []
+    for gid in np.flatnonzero(present):
+        state = ApproxCountDistinctState(aggregator.m)
+        sketch = aggregator._sketches.get(int(gid))
+        if sketch is not None:
+            state.sketch.merge(sketch)
+        out.append(state)
+    return out
+
+
+def aggregator_states(aggregator: ColumnarAggregator, present: np.ndarray):
+    """Per-present-group mergeable AggStates for any aggregator."""
+    if isinstance(aggregator, CountValueAggregator):
+        return _count_value_states(aggregator, present)
+    if isinstance(aggregator, PresenceAggregator):
+        return _presence_states(aggregator, present)
+    if isinstance(aggregator, SumAggregator):  # covers AvgAggregator
+        return _sum_states(aggregator, present)
+    if isinstance(aggregator, _ExtremeAggregator):
+        return _extreme_states(aggregator, present)
+    if isinstance(aggregator, CountDistinctAggregator):
+        return _count_distinct_states(aggregator, present)
+    if isinstance(aggregator, ApproxCountDistinctAggregator):
+        return _approx_states(aggregator, present)
+    raise ExecutionError(f"no state export for {type(aggregator).__name__}")

@@ -1,0 +1,193 @@
+"""Row-wise expression evaluation with SQL NULL semantics.
+
+This evaluator is the *semantic reference* for the whole repository:
+the row-store baseline backends use it directly for every row, and the
+column-store uses it to materialize virtual fields (once per distinct
+input combination). Keeping one implementation guarantees that all
+backends agree on every query — the cross-backend equality property
+the test suite checks.
+
+Semantics notes (documented divergences are deliberate and shared):
+
+- three-valued logic: comparisons/arithmetic with NULL yield NULL;
+  ``AND``/``OR`` follow Kleene logic; WHERE keeps rows whose predicate
+  is truthy (NULL is not).
+- ``x IN (a, b)`` is NULL when x is NULL — unless NULL is itself listed,
+  which only the parser's ``IS [NOT] NULL`` rewrite produces; then the
+  list matches NULL exactly.
+- division by zero yields NULL (kept total so property tests can run
+  arbitrary generated expressions).
+- comparisons between strings and numbers raise
+  :class:`~repro.errors.ExecutionError` — mixing them is a type error,
+  not data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ExecutionError, UnsupportedQueryError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    Expr,
+    FieldRef,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.functions import apply_scalar
+
+_NUMERIC = (int, float)
+
+
+def _check_comparable(left: Any, right: Any) -> None:
+    left_is_str = isinstance(left, str)
+    right_is_str = isinstance(right, str)
+    if left_is_str != right_is_str:
+        raise ExecutionError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+
+
+def _compare(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _check_comparable(left, right)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not isinstance(left, _NUMERIC) or not isinstance(right, _NUMERIC):
+        raise ExecutionError(
+            f"arithmetic needs numbers, got {type(left).__name__} "
+            f"and {type(right).__name__}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        result = left / right
+        return result
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _logic_and(left: Any, right: Any) -> Any:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return bool(left) and bool(right)
+
+
+def _logic_or(left: Any, right: Any) -> Any:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return bool(left) or bool(right)
+
+
+def _truthy(value: Any) -> Any:
+    """Map a raw value into three-valued logic for AND/OR/NOT/WHERE."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, _NUMERIC):
+        return value != 0
+    raise ExecutionError(
+        f"cannot use {type(value).__name__} value as a condition"
+    )
+
+
+def evaluate(expr: Expr, get_value: Callable[[str], Any]) -> Any:
+    """Evaluate ``expr`` for one row; fields resolve via ``get_value``."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, FieldRef):
+        return get_value(expr.name)
+    if isinstance(expr, FuncCall):
+        args = [evaluate(arg, get_value) for arg in expr.args]
+        return apply_scalar(expr.name, args)
+    if isinstance(expr, UnaryOp):
+        operand = evaluate(expr.operand, get_value)
+        if expr.op == "NOT":
+            truth = _truthy(operand)
+            return None if truth is None else not truth
+        if operand is None:
+            return None
+        if not isinstance(operand, _NUMERIC):
+            raise ExecutionError(
+                f"unary minus needs a number, got {type(operand).__name__}"
+            )
+        return -operand
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            return _logic_and(
+                _truthy(evaluate(expr.left, get_value)),
+                _truthy(evaluate(expr.right, get_value)),
+            )
+        if expr.op == "OR":
+            return _logic_or(
+                _truthy(evaluate(expr.left, get_value)),
+                _truthy(evaluate(expr.right, get_value)),
+            )
+        left = evaluate(expr.left, get_value)
+        right = evaluate(expr.right, get_value)
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return _compare(expr.op, left, right)
+        return _arith(expr.op, left, right)
+    if isinstance(expr, InList):
+        operand = evaluate(expr.operand, get_value)
+        null_listed = any(v is None for v in expr.values)
+        if operand is None:
+            # Plain IN is NULL on NULL input; the IS NULL rewrite
+            # (NULL in the list) matches it exactly.
+            if null_listed:
+                return not expr.negated
+            return None
+        matched = any(
+            v is not None and _in_member_equal(operand, v) for v in expr.values
+        )
+        return matched != expr.negated
+    if isinstance(expr, Star):
+        raise UnsupportedQueryError("'*' is only valid inside COUNT(*)")
+    if isinstance(expr, Aggregate):
+        raise UnsupportedQueryError(
+            "aggregate used where a scalar expression is required"
+        )
+    raise ExecutionError(f"cannot evaluate expression node {expr!r}")
+
+
+def _in_member_equal(operand: Any, member: Any) -> bool:
+    if isinstance(operand, str) != isinstance(member, str):
+        return False
+    return operand == member
+
+
+def truthy(value: Any) -> bool:
+    """Collapse a three-valued predicate result to row-keep semantics."""
+    return _truthy(value) is True

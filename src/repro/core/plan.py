@@ -1,0 +1,132 @@
+"""Select-list planning shared by the column-store and row backends.
+
+A grouped query's select items are rewritten over two kinds of
+placeholder columns:
+
+- ``__group_<i>`` — the value of the i-th GROUP BY expression,
+- ``__agg_<j>`` — the value of the j-th distinct aggregate.
+
+Every backend computes those per group (each in its own way) and then
+evaluates the same rewritten expressions — so expressions *around*
+aggregates (``SUM(x) / COUNT(*)``) behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedQueryError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    Expr,
+    FieldRef,
+    FuncCall,
+    InList,
+    Query,
+    Star,
+    UnaryOp,
+    walk,
+)
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """The planned shape of a grouped (or globally aggregated) query."""
+
+    group_exprs: tuple[Expr, ...]
+    aggregates: tuple[Aggregate, ...]
+    #: (output column name, expression over __group_i / __agg_j)
+    items: tuple[tuple[str, Expr], ...]
+
+    @property
+    def grouped(self) -> bool:
+        return bool(self.group_exprs)
+
+
+def is_aggregation_query(query: Query) -> bool:
+    """Whether the query takes the grouped path (vs plain projection)."""
+    if query.group_by:
+        return True
+    return any(
+        isinstance(node, Aggregate)
+        for item in query.select
+        for node in walk(item.expr)
+    )
+
+
+def plan_group_query(query: Query) -> GroupPlan:
+    """Rewrite the select list over group/aggregate placeholders.
+
+    Raises :class:`UnsupportedQueryError` when a select item references
+    a column that is neither grouped by nor inside an aggregate.
+    """
+    group_sqls = {expr.sql(): i for i, expr in enumerate(query.group_by)}
+    agg_order: list[Aggregate] = []
+    agg_index: dict[str, int] = {}
+
+    def rewrite(node: Expr) -> Expr:
+        rendered = node.sql()
+        if rendered in group_sqls:
+            return FieldRef(f"__group_{group_sqls[rendered]}")
+        if isinstance(node, Aggregate):
+            if rendered not in agg_index:
+                agg_index[rendered] = len(agg_order)
+                agg_order.append(node)
+            return FieldRef(f"__agg_{agg_index[rendered]}")
+        if isinstance(node, FuncCall):
+            return FuncCall(node.name, tuple(rewrite(a) for a in node.args))
+        if isinstance(node, BinaryOp):
+            return BinaryOp(node.op, rewrite(node.left), rewrite(node.right))
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, rewrite(node.operand))
+        if isinstance(node, InList):
+            return InList(rewrite(node.operand), node.values, node.negated)
+        if isinstance(node, FieldRef):
+            raise UnsupportedQueryError(
+                f"field {node.name!r} is selected but not grouped by"
+            )
+        if isinstance(node, Star):
+            raise UnsupportedQueryError("'*' is only valid inside COUNT(*)")
+        return node
+
+    items = tuple(
+        (item.output_name(), rewrite(item.expr)) for item in query.select
+    )
+    return GroupPlan(
+        group_exprs=tuple(query.group_by),
+        aggregates=tuple(agg_order),
+        items=items,
+    )
+
+
+def resolve_group_aliases(query: Query) -> Query:
+    """Replace select-alias references in GROUP BY with their expressions.
+
+    Supports the paper's Query 2 style: ``SELECT date(timestamp) AS
+    date ... GROUP BY date``.
+    """
+    if not query.group_by:
+        return query
+    aliases = {
+        item.alias: item.expr for item in query.select if item.alias is not None
+    }
+    changed = False
+    new_group = []
+    for expr in query.group_by:
+        if isinstance(expr, FieldRef) and expr.name in aliases:
+            new_group.append(aliases[expr.name])
+            changed = True
+        else:
+            new_group.append(expr)
+    if not changed:
+        return query
+    return Query(
+        select=query.select,
+        table=query.table,
+        where=query.where,
+        group_by=tuple(new_group),
+        having=query.having,
+        order_by=query.order_by,
+        limit=query.limit,
+    )

@@ -1,0 +1,382 @@
+"""Restriction analysis: chunk skipping and row masks — Sections 2.4 / 5.
+
+The engine gives the operators ``AND, OR, NOT, IN, NOT IN, =, !=`` (plus
+range comparisons, which the sorted-rank property makes equally cheap)
+special support when deciding which chunks and rows are active:
+
+1. The WHERE tree is normalized into a tree of *leaf predicates*, each
+   over a single (original or materialized virtual) field compared
+   against literals. Arbitrary sub-expressions are first materialized
+   as virtual fields (Section 5 "Complex Expressions"), so this
+   normalization is total.
+2. Each leaf is turned into two boolean vectors over the field's global
+   dictionary: ``t`` (value satisfies the predicate) and ``n``
+   (predicate is NULL for this value) — a Kleene truth table indexed by
+   global-id. Restricted to a chunk's chunk-dictionary these are
+   *exact* per-distinct-value outcomes.
+3. Per chunk, each node reports a conservative outcome summary
+   (may-be-true / may-be-false / may-be-null, definitely-all-true /
+   definitely-all-false), composed bottom-up. "No row may be true"
+   -> the chunk is **skipped** without touching its elements; "every
+   row definitely true" -> the chunk is **fully active** (its result is
+   cacheable). Otherwise an exact per-row mask is computed by gathering
+   the leaf vectors through the elements arrays and composing Kleene
+   logic at row level.
+
+Skipping is sound: the summary algebra only ever over-approximates the
+set of possible row outcomes, so a skipped chunk provably contains no
+matching row. The row-mask path is exact, and the decision is refined
+with it (a PARTIAL candidate whose mask turns out empty is skipped).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import UnsupportedQueryError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    Expr,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.storage.chunk import ColumnChunk
+from repro.storage.dictionary import Dictionary
+
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+class ChunkStatus(enum.Enum):
+    """Per-chunk outcome of restriction analysis."""
+
+    SKIP = "skip"  # no row matches
+    FULL = "full"  # every row matches (result cacheable)
+    PARTIAL = "partial"  # some rows match; a row mask is needed
+
+
+@dataclass
+class ChunkDecision:
+    status: ChunkStatus
+    row_mask: np.ndarray | None = None  # bool per row, PARTIAL only
+
+
+@dataclass(frozen=True)
+class _Summary:
+    """Conservative per-chunk outcome summary of a predicate node.
+
+    ``may_*`` are supersets of the possible row outcomes; ``all_true``
+    / ``all_false`` are underapproximations of "every row has this
+    outcome". The invariants keep SKIP and FULL decisions sound.
+    """
+
+    may_true: bool
+    may_false: bool
+    may_null: bool
+    all_true: bool
+    all_false: bool
+
+
+class _Node:
+    """A compiled predicate node."""
+
+    def summary(self, chunk_index: int) -> _Summary:
+        raise NotImplementedError
+
+    def row_vectors(
+        self, chunk_index: int, element_arrays
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-row (t, n) Kleene vectors for one chunk."""
+        raise NotImplementedError
+
+
+class _Leaf(_Node):
+    """A predicate over one field, precomputed as global (t, n) masks."""
+
+    def __init__(
+        self,
+        field: str,
+        t_mask: np.ndarray,
+        n_mask: np.ndarray,
+        column_chunks: list[ColumnChunk],
+    ) -> None:
+        self.field = field
+        self._t = t_mask
+        self._n = n_mask
+        self._column_chunks = column_chunks
+
+    def _dict_vectors(self, chunk_index: int) -> tuple[np.ndarray, np.ndarray]:
+        chunk_dict = self._column_chunks[chunk_index].chunk_dict
+        return self._t[chunk_dict], self._n[chunk_dict]
+
+    def summary(self, chunk_index: int) -> _Summary:
+        t, n = self._dict_vectors(chunk_index)
+        false = ~t & ~n
+        return _Summary(
+            may_true=bool(t.any()),
+            may_false=bool(false.any()),
+            may_null=bool(n.any()),
+            all_true=bool(t.all()),
+            all_false=bool(false.all()),
+        )
+
+    def row_vectors(self, chunk_index, element_arrays):
+        t, n = self._dict_vectors(chunk_index)
+        elements = element_arrays(self.field, chunk_index)
+        return t[elements], n[elements]
+
+
+class _And(_Node):
+    def __init__(self, left: _Node, right: _Node) -> None:
+        self.left = left
+        self.right = right
+
+    def summary(self, chunk_index: int) -> _Summary:
+        a = self.left.summary(chunk_index)
+        b = self.right.summary(chunk_index)
+        return _Summary(
+            may_true=a.may_true and b.may_true,
+            may_false=a.may_false or b.may_false,
+            may_null=a.may_null or b.may_null,
+            all_true=a.all_true and b.all_true,
+            all_false=a.all_false or b.all_false,
+        )
+
+    def row_vectors(self, chunk_index, element_arrays):
+        t1, n1 = self.left.row_vectors(chunk_index, element_arrays)
+        t2, n2 = self.right.row_vectors(chunk_index, element_arrays)
+        false = (~t1 & ~n1) | (~t2 & ~n2)
+        true = t1 & t2
+        return true, ~false & ~true
+
+
+class _Or(_Node):
+    def __init__(self, left: _Node, right: _Node) -> None:
+        self.left = left
+        self.right = right
+
+    def summary(self, chunk_index: int) -> _Summary:
+        a = self.left.summary(chunk_index)
+        b = self.right.summary(chunk_index)
+        return _Summary(
+            may_true=a.may_true or b.may_true,
+            may_false=a.may_false and b.may_false,
+            may_null=a.may_null or b.may_null,
+            all_true=a.all_true or b.all_true,
+            all_false=a.all_false and b.all_false,
+        )
+
+    def row_vectors(self, chunk_index, element_arrays):
+        t1, n1 = self.left.row_vectors(chunk_index, element_arrays)
+        t2, n2 = self.right.row_vectors(chunk_index, element_arrays)
+        true = t1 | t2
+        return true, ~true & (n1 | n2)
+
+
+class _Not(_Node):
+    def __init__(self, operand: _Node) -> None:
+        self.operand = operand
+
+    def summary(self, chunk_index: int) -> _Summary:
+        s = self.operand.summary(chunk_index)
+        return _Summary(
+            may_true=s.may_false,
+            may_false=s.may_true,
+            may_null=s.may_null,
+            all_true=s.all_false,
+            all_false=s.all_true,
+        )
+
+    def row_vectors(self, chunk_index, element_arrays):
+        t, n = self.operand.row_vectors(chunk_index, element_arrays)
+        return ~t & ~n, n
+
+
+class Restriction:
+    """A compiled WHERE clause, ready for per-chunk decisions."""
+
+    def __init__(self, root: _Node | None, element_arrays) -> None:
+        self._root = root
+        self._element_arrays = element_arrays
+
+    @property
+    def unrestricted(self) -> bool:
+        return self._root is None
+
+    def decide(self, chunk_index: int) -> ChunkDecision:
+        """Skip / full / partial decision (with row mask) for one chunk."""
+        if self._root is None:
+            return ChunkDecision(ChunkStatus.FULL)
+        summary = self._root.summary(chunk_index)
+        if not summary.may_true:
+            return ChunkDecision(ChunkStatus.SKIP)
+        if summary.all_true:
+            return ChunkDecision(ChunkStatus.FULL)
+        row_mask, __ = self._root.row_vectors(chunk_index, self._element_arrays)
+        if not row_mask.any():
+            return ChunkDecision(ChunkStatus.SKIP)
+        if row_mask.all():
+            return ChunkDecision(ChunkStatus.FULL)
+        return ChunkDecision(ChunkStatus.PARTIAL, row_mask)
+
+
+# -- leaf mask construction ---------------------------------------------------
+
+
+def _lookup_gid(dictionary: Dictionary, value: Any) -> int | None:
+    gid = dictionary.global_id(value)
+    if gid is None and isinstance(value, int) and not isinstance(value, bool):
+        # Integer literals should match float dictionary entries.
+        gid = dictionary.global_id(float(value))
+    return gid
+
+
+def _leaf_masks_in(
+    dictionary: Dictionary, values: tuple[Any, ...], negated: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """(t, n) global masks for ``field [NOT] IN (values)``."""
+    n_values = len(dictionary)
+    t = np.zeros(n_values, dtype=bool)
+    n = np.zeros(n_values, dtype=bool)
+    null_listed = any(v is None for v in values)
+    for value in values:
+        if value is None:
+            continue
+        gid = _lookup_gid(dictionary, value)
+        if gid is not None:
+            t[gid] = True
+    if dictionary.has_null:
+        if null_listed:
+            t[0] = True  # the IS NULL rewrite: NULL matches exactly
+            n[0] = False
+        else:
+            t[0] = False
+            n[0] = True  # plain IN on NULL input is NULL
+    if negated:
+        return ~t & ~n, n
+    return t, n
+
+
+def _leaf_masks_cmp(
+    dictionary: Dictionary, op: str, literal: Any
+) -> tuple[np.ndarray, np.ndarray]:
+    """(t, n) global masks for ``field <op> literal``."""
+    n_values = len(dictionary)
+    t = np.zeros(n_values, dtype=bool)
+    n = np.zeros(n_values, dtype=bool)
+    if dictionary.has_null:
+        n[0] = True  # comparisons with NULL are NULL
+    if literal is None:
+        n[:] = True
+        return t, n
+    if op in ("=", "!="):
+        gid = _lookup_gid(dictionary, literal)
+        if op == "=":
+            if gid is not None:
+                t[gid] = True
+        else:
+            offset = 1 if dictionary.has_null else 0
+            t[offset:] = True
+            if gid is not None:
+                t[gid] = False
+        return t, n
+    lo, hi = dictionary.gid_range(op, literal)
+    t[lo:hi] = True
+    if dictionary.has_null:
+        t[0] = False
+    return t, n
+
+
+def _leaf_masks_truthy(dictionary: Dictionary) -> tuple[np.ndarray, np.ndarray]:
+    """(t, n) masks for using a (numeric) field directly as a condition."""
+    n_values = len(dictionary)
+    t = np.zeros(n_values, dtype=bool)
+    n = np.zeros(n_values, dtype=bool)
+    for gid in range(n_values):
+        value = dictionary.value(gid)
+        if value is None:
+            n[gid] = True
+        elif isinstance(value, str):
+            raise UnsupportedQueryError(
+                "a string-valued expression cannot be used as a condition"
+            )
+        else:
+            t[gid] = bool(value != 0)
+    return t, n
+
+
+# -- compilation ---------------------------------------------------------------
+
+
+def compile_restriction(
+    where: Expr | None,
+    ensure_field: Callable[[Expr], str],
+    dictionary_of: Callable[[str], Dictionary],
+    column_chunks_of: Callable[[str], list[ColumnChunk]],
+    element_arrays: Callable[[str, int], np.ndarray],
+) -> Restriction:
+    """Compile a WHERE expression into a :class:`Restriction`.
+
+    ``ensure_field`` materializes an arbitrary scalar expression as a
+    (virtual) field and returns its name — the hook into the
+    datastore's virtual-field machinery. ``element_arrays`` returns the
+    dense chunk-id array of (field, chunk).
+    """
+    if where is None:
+        return Restriction(None, element_arrays)
+    root = _compile(where, ensure_field, dictionary_of, column_chunks_of)
+    return Restriction(root, element_arrays)
+
+
+def _compile(
+    expr: Expr,
+    ensure_field: Callable[[Expr], str],
+    dictionary_of: Callable[[str], Dictionary],
+    column_chunks_of: Callable[[str], list[ColumnChunk]],
+) -> _Node:
+    def recurse(node: Expr) -> _Node:
+        return _compile(node, ensure_field, dictionary_of, column_chunks_of)
+
+    def leaf_for(field: str, masks: tuple[np.ndarray, np.ndarray]) -> _Leaf:
+        return _Leaf(field, masks[0], masks[1], column_chunks_of(field))
+
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _And(recurse(expr.left), recurse(expr.right))
+    if isinstance(expr, BinaryOp) and expr.op == "OR":
+        return _Or(recurse(expr.left), recurse(expr.right))
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return _Not(recurse(expr.operand))
+
+    if isinstance(expr, InList):
+        field = ensure_field(expr.operand)
+        return leaf_for(
+            field, _leaf_masks_in(dictionary_of(field), expr.values, expr.negated)
+        )
+
+    if isinstance(expr, BinaryOp) and expr.op in _CMP_OPS:
+        left_lit = isinstance(expr.left, Literal)
+        right_lit = isinstance(expr.right, Literal)
+        if right_lit and not left_lit:
+            operand, op, literal = expr.left, expr.op, expr.right.value
+        elif left_lit and not right_lit:
+            operand, op, literal = expr.right, _FLIP[expr.op], expr.left.value
+        else:
+            # constant=constant or field-vs-field comparison:
+            # materialize the whole predicate and test truthiness.
+            field = ensure_field(expr)
+            return leaf_for(field, _leaf_masks_truthy(dictionary_of(field)))
+        field = ensure_field(operand)
+        return leaf_for(
+            field, _leaf_masks_cmp(dictionary_of(field), op, literal)
+        )
+
+    # Anything else used as a condition (bare function call, bare
+    # field, arithmetic): materialize it and test truthiness.
+    field = ensure_field(expr)
+    return leaf_for(field, _leaf_masks_truthy(dictionary_of(field)))

@@ -1,0 +1,271 @@
+"""In-memory relational tables: the import source and result shape.
+
+The paper imports "single tables; which, e.g., correspond to log files
+at Google ... or result from denormalizing a set of relational tables".
+:class:`Table` is that flat, typed, column-oriented in-memory relation.
+It is deliberately simple — the interesting encodings live in
+:mod:`repro.storage`; this class is the neutral exchange format between
+the workload generator, the row/column file backends, and the datastore
+import path.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TableError
+
+
+class DataType(enum.Enum):
+    """Column types supported by the reproduction."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TableError` if ``value`` doesn't fit this type."""
+        if value is None:
+            return
+        if self is DataType.STRING and not isinstance(value, str):
+            raise TableError(f"expected str, got {type(value).__name__}: {value!r}")
+        if self is DataType.INT and (
+            isinstance(value, bool) or not isinstance(value, (int, np.integer))
+        ):
+            raise TableError(f"expected int, got {type(value).__name__}: {value!r}")
+        if self is DataType.FLOAT and not isinstance(
+            value, (int, float, np.integer, np.floating)
+        ):
+            raise TableError(f"expected float, got {type(value).__name__}: {value!r}")
+
+    @classmethod
+    def infer(cls, values: Iterable[Any]) -> "DataType":
+        """Infer the narrowest type covering all non-null ``values``."""
+        seen_float = False
+        seen_int = False
+        seen_str = False
+        for value in values:
+            if value is None:
+                continue
+            if isinstance(value, str):
+                seen_str = True
+            elif isinstance(value, bool):
+                raise TableError("bool columns are not supported")
+            elif isinstance(value, (int, np.integer)):
+                seen_int = True
+            elif isinstance(value, (float, np.floating)):
+                seen_float = True
+            else:
+                raise TableError(f"unsupported value type {type(value).__name__}")
+        if seen_str and (seen_int or seen_float):
+            raise TableError("column mixes strings and numbers")
+        if seen_str:
+            return cls.STRING
+        if seen_float:
+            return cls.FLOAT
+        return cls.INT
+
+
+class Column:
+    """A named, typed sequence of values (None = NULL)."""
+
+    __slots__ = ("name", "dtype", "values")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[Any],
+        dtype: DataType | None = None,
+        validate: bool = True,
+    ) -> None:
+        self.name = name
+        self.values = list(values)
+        self.dtype = dtype if dtype is not None else DataType.infer(self.values)
+        if validate and dtype is not None:
+            for value in self.values:
+                self.dtype.validate(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, row: int) -> Any:
+        return self.values[row]
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Column":
+        """A new column with rows reordered/selected by ``indices``."""
+        values = self.values
+        return Column(
+            self.name,
+            [values[int(i)] for i in indices],
+            dtype=self.dtype,
+            validate=False,
+        )
+
+
+class Schema:
+    """Ordered field name -> type mapping."""
+
+    def __init__(self, fields: Sequence[tuple[str, DataType]]) -> None:
+        names = [name for name, __ in fields]
+        if len(set(names)) != len(names):
+            raise TableError(f"duplicate field names in schema: {names}")
+        self._fields = list(fields)
+        self._types = dict(fields)
+
+    @property
+    def field_names(self) -> list[str]:
+        return [name for name, __ in self._fields]
+
+    def dtype(self, name: str) -> DataType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise TableError(
+                f"unknown field {name!r}; schema has {self.field_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[tuple[str, DataType]]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._fields == other._fields
+
+
+class Table:
+    """A flat, typed, column-oriented relation."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise TableError("a table needs at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) != 1:
+            raise TableError(f"ragged columns: lengths {sorted(lengths)}")
+        self._columns = {column.name: column for column in columns}
+        if len(self._columns) != len(columns):
+            raise TableError("duplicate column names")
+        self._order = [column.name for column in columns]
+        self._n_rows = lengths.pop()
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls, data: Mapping[str, Sequence[Any]], schema: Schema | None = None
+    ) -> "Table":
+        """Build from a name -> values mapping (types inferred if no schema)."""
+        columns = []
+        for name, values in data.items():
+            dtype = schema.dtype(name) if schema is not None else None
+            columns.append(Column(name, values, dtype=dtype))
+        return cls(columns)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Sequence[Any]], schema: Schema
+    ) -> "Table":
+        """Build from row tuples matching ``schema`` order."""
+        names = schema.field_names
+        buffers: list[list[Any]] = [[] for __ in names]
+        for row in rows:
+            if len(row) != len(names):
+                raise TableError(
+                    f"row width {len(row)} != schema width {len(names)}"
+                )
+            for buffer, value in zip(buffers, row):
+                buffer.append(value)
+        columns = [
+            Column(name, buffer, dtype=schema.dtype(name))
+            for name, buffer in zip(names, buffers)
+        ]
+        return cls(columns)
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._order)
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema([(name, self._columns[name].dtype) for name in self._order])
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells (rows x columns) — the paper's unit."""
+        return self._n_rows * len(self._order)
+
+    # -- access ------------------------------------------------------------
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TableError(
+                f"unknown column {name!r}; table has {self._order}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> tuple:
+        """Row ``index`` as a tuple in schema order."""
+        if not 0 <= index < self._n_rows:
+            raise TableError(f"row {index} out of range [0, {self._n_rows})")
+        return tuple(self._columns[name].values[index] for name in self._order)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        columns = [self._columns[name].values for name in self._order]
+        return zip(*columns) if columns else iter(())
+
+    # -- transforms ---------------------------------------------------------
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Table":
+        """A new table with rows selected/reordered by ``indices``."""
+        return Table([self._columns[name].take(indices) for name in self._order])
+
+    def with_column(self, column: Column) -> "Table":
+        """A new table with ``column`` appended (must match row count)."""
+        if column.name in self._columns:
+            raise TableError(f"column {column.name!r} already exists")
+        return Table(
+            [self._columns[name] for name in self._order] + [column]
+        )
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """A new table with just ``names``, in the given order."""
+        return Table([self.column(name) for name in names])
+
+    def sorted_rows(self) -> list[tuple]:
+        """All rows sorted — canonical form for result comparison."""
+        key = lambda row: tuple(
+            (value is not None, value) for value in row
+        )
+        return sorted(self.iter_rows(), key=key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self._order == other._order
+            and all(
+                self._columns[n].values == other._columns[n].values
+                for n in self._order
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {self._order})"

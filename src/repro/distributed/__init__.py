@@ -1,0 +1,37 @@
+"""Distributed execution — Section 4, and the Section 6 production setup.
+
+- :mod:`repro.distributed.shard` -- quasi-random sharding of a table
+  ("start by sharding the data quasi randomly across the machines"),
+  each shard partitioned into chunks independently.
+- :mod:`repro.distributed.tree` -- the computation tree: the group-by
+  rewrite (leaf/merge query decomposition) and multi-level merging of
+  mergeable partial states.
+- :mod:`repro.distributed.cluster` -- a deterministic simulation of the
+  production cluster: machines with fluctuating load, an in-memory /
+  on-disk residency model, primary+replica sub-queries, and the
+  latency/disk metrics behind Figure 5 and the Section 6 statistics.
+"""
+
+from repro.distributed.cluster import (
+    ClusterConfig,
+    MachineConfig,
+    QueryMetrics,
+    SimulatedCluster,
+)
+from repro.distributed.shard import Shard, shard_table
+from repro.distributed.tree import (
+    ComputationTree,
+    decompose_query,
+    merge_group_partials,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ComputationTree",
+    "MachineConfig",
+    "QueryMetrics",
+    "Shard",
+    "SimulatedCluster",
+    "decompose_query",
+    "merge_group_partials",
+]

@@ -1,0 +1,218 @@
+"""The computation tree — Section 4's multi-level group-by execution.
+
+Two complementary pieces live here:
+
+1. :func:`decompose_query` — the *SQL-level* rewrite the paper shows:
+
+   ``SELECT a, SUM(x) FROM (S1 UNION ALL S2) GROUP BY a`` becomes inner
+   selects per shard and an outer merge select. COUNT(*) merges as
+   SUM of partial counts, AVG as SUM/SUM, MIN/MAX as themselves.
+   Exact COUNT DISTINCT is *not* decomposable this way — the function
+   raises, mirroring "We cannot support count distinct by that.
+   Therefore, we use an approximative technique".
+
+2. :class:`ComputationTree` / :func:`merge_group_partials` — the
+   *engine-level* execution used by the cluster simulation: shards
+   produce mergeable per-group states
+   (:meth:`repro.core.datastore.DataStore.execute_partials`), interior
+   nodes merge them level by level ("the leaf level machines execute
+   the inner select in parallel and send the result to the root"), and
+   the root finalizes with the shared HAVING/ORDER BY/LIMIT tail
+   ("the servers at the leaf level execute 'where' clauses and the
+   root executes any 'having' statements"). Merging states handles
+   every aggregate including exact COUNT DISTINCT (sets union) and the
+   KMV sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.expr_eval import evaluate
+from repro.core.plan import plan_group_query, resolve_group_aliases
+from repro.core.result import finalize
+from repro.core.table import Table
+from repro.errors import DistributedError, UnsupportedQueryError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    FieldRef,
+    OrderItem,
+    Query,
+    SelectItem,
+    walk,
+)
+
+GroupPartials = dict[tuple, tuple[tuple, list]]
+
+
+# -- SQL-level decomposition ---------------------------------------------------
+
+
+def decompose_query(query: Query) -> tuple[Query, Query]:
+    """Rewrite a grouped query into (leaf_query, merge_query).
+
+    The leaf query runs on each shard; the merge query runs over the
+    UNION ALL of leaf results (its FROM table is named ``partials``).
+    Raises :class:`UnsupportedQueryError` for aggregates that are not
+    associative-decomposable (exact COUNT DISTINCT).
+    """
+    query = resolve_group_aliases(query)
+    plan = plan_group_query(query)
+    for agg in plan.aggregates:
+        if agg.distinct and not agg.approximate:
+            raise UnsupportedQueryError(
+                "COUNT DISTINCT cannot be computed by multi-level "
+                "associative aggregation; use APPROX_COUNT_DISTINCT"
+            )
+        if agg.approximate:
+            raise UnsupportedQueryError(
+                "APPROX_COUNT_DISTINCT merges sketches, not SQL rows; "
+                "use the engine-level ComputationTree"
+            )
+
+    leaf_items: list[SelectItem] = []
+    merge_inner: dict[str, Aggregate] = {}
+    for index, expr in enumerate(plan.group_exprs):
+        leaf_items.append(SelectItem(expr, f"g{index}"))
+    for index, agg in enumerate(plan.aggregates):
+        name = f"a{index}"
+        if agg.name == "COUNT":
+            leaf_items.append(SelectItem(agg, name))
+            merge_inner[name] = Aggregate("SUM", FieldRef(name))
+        elif agg.name in ("SUM", "MIN", "MAX"):
+            leaf_items.append(SelectItem(agg, name))
+            merge_inner[name] = Aggregate(agg.name, FieldRef(name))
+        elif agg.name == "AVG":
+            # AVG(x) = SUM(x) / SUM(1): ship sum and count separately.
+            leaf_items.append(
+                SelectItem(Aggregate("SUM", agg.arg), f"{name}_sum")
+            )
+            leaf_items.append(
+                SelectItem(Aggregate("COUNT", agg.arg), f"{name}_count")
+            )
+            merge_inner[name] = None  # marker: handled below
+        else:
+            raise UnsupportedQueryError(f"cannot decompose {agg.sql()}")
+
+    leaf_query = Query(
+        select=tuple(leaf_items),
+        table=query.table,
+        where=query.where,
+        group_by=plan.group_exprs,
+    )
+
+    merge_items: list[SelectItem] = []
+    for index in range(len(plan.group_exprs)):
+        merge_items.append(SelectItem(FieldRef(f"g{index}"), f"g{index}"))
+    for index, agg in enumerate(plan.aggregates):
+        name = f"a{index}"
+        if agg.name == "AVG":
+            merge_items.append(
+                SelectItem(
+                    BinaryOp(
+                        "/",
+                        Aggregate("SUM", FieldRef(f"{name}_sum")),
+                        Aggregate("SUM", FieldRef(f"{name}_count")),
+                    ),
+                    name,
+                )
+            )
+        else:
+            merge_items.append(SelectItem(merge_inner[name], name))
+    merge_query = Query(
+        select=tuple(merge_items),
+        table="partials",
+        group_by=tuple(
+            FieldRef(f"g{index}") for index in range(len(plan.group_exprs))
+        ),
+    )
+    return leaf_query, merge_query
+
+
+# -- engine-level merging ----------------------------------------------------------
+
+
+def merge_group_partials(parts: list[GroupPartials]) -> GroupPartials:
+    """Union per-group states from several sub-trees (one tree level)."""
+    if not parts:
+        return {}
+    merged: GroupPartials = {}
+    for part in parts:
+        for key, (values, states) in part.items():
+            existing = merged.get(key)
+            if existing is None:
+                # States are mutated on merge: keep shared inputs safe.
+                merged[key] = (values, [_copy_state(s) for s in states])
+            else:
+                for mine, theirs in zip(existing[1], states):
+                    mine.merge(theirs)
+    return merged
+
+
+def _copy_state(state):
+    import copy
+
+    return copy.deepcopy(state)
+
+
+def finalize_partials(query: Query, merged: GroupPartials) -> Table:
+    """Root step: evaluate select items per group and apply the shared
+    HAVING / ORDER BY / LIMIT tail."""
+    query = resolve_group_aliases(query)
+    plan = plan_group_query(query)
+    out_rows: list[dict[str, Any]] = []
+    for values, states in merged.values():
+        env: dict[str, Any] = {}
+        for index, value in enumerate(values):
+            env[f"__group_{index}"] = value
+        for index, state in enumerate(states):
+            env[f"__agg_{index}"] = state.result()
+        out_rows.append(
+            {
+                name: evaluate(expr, env.__getitem__)
+                for name, expr in plan.items
+            }
+        )
+    return finalize(out_rows, query)
+
+
+class ComputationTree:
+    """A fan-in tree over leaf tasks, merging partials level by level."""
+
+    def __init__(self, n_leaves: int, fanout: int = 8) -> None:
+        if n_leaves < 1:
+            raise DistributedError("tree needs at least one leaf")
+        if fanout < 2:
+            raise DistributedError("tree fanout must be >= 2")
+        self.n_leaves = n_leaves
+        self.fanout = fanout
+
+    @property
+    def depth(self) -> int:
+        """Number of merge levels above the leaves."""
+        if self.n_leaves == 1:
+            return 1
+        return max(1, math.ceil(math.log(self.n_leaves, self.fanout)))
+
+    def merge_levels(
+        self, leaf_partials: list[GroupPartials]
+    ) -> tuple[GroupPartials, int]:
+        """Merge leaf partials up the tree.
+
+        Returns (root partial, number of merge operations performed) —
+        the operation count drives the simulation's merge-time model.
+        """
+        level = leaf_partials
+        operations = 0
+        while len(level) > 1:
+            next_level: list[GroupPartials] = []
+            for start in range(0, len(level), self.fanout):
+                group = level[start : start + self.fanout]
+                next_level.append(merge_group_partials(group))
+                operations += len(group)
+            level = next_level
+        if len(level) == 1 and operations == 0:
+            operations = 1
+        return (level[0] if level else {}), operations

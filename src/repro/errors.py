@@ -1,0 +1,66 @@
+"""Exception hierarchy for the PowerDrill reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Sub-hierarchies mirror the major subsystems: storage,
+SQL parsing/binding, query execution, and the distributed layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(ReproError):
+    """A storage data-structure was used incorrectly or is corrupt."""
+
+
+class DictionaryError(StorageError):
+    """A dictionary lookup or construction failed."""
+
+
+class EncodingError(StorageError):
+    """An element/trie/compression encoding could not be built or decoded."""
+
+
+class CompressionError(ReproError):
+    """A compressed buffer is malformed or a codec is unknown."""
+
+
+class PartitionError(ReproError):
+    """Partitioning was configured or applied incorrectly."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(SqlError):
+    """A parsed query references unknown fields or misuses functions."""
+
+
+class ExecutionError(ReproError):
+    """Query evaluation failed at runtime."""
+
+
+class UnsupportedQueryError(ExecutionError):
+    """The query is valid SQL but outside the supported dialect."""
+
+
+class DistributedError(ReproError):
+    """The simulated cluster was misconfigured or a sub-query failed."""
+
+
+class TableError(ReproError):
+    """An in-memory table was constructed or accessed incorrectly."""

@@ -1,0 +1,69 @@
+"""The common backend interface.
+
+A backend owns a dataset in some storage format and answers SQL
+queries over it. :class:`Backend` fixes the contract the experiments
+rely on: ``execute`` returns a :class:`~repro.core.result.QueryResult`
+whose ``stats.memory_bytes`` reports what the backend had to hold in
+memory for the query — the quantity Table 1 compares.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.result import QueryResult, ScanStats
+from repro.core.table import Schema, Table
+from repro.formats.rowexec import execute_on_rows
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import Query
+from repro.sql.parser import parse_query
+
+
+class Backend:
+    """Base class for full-scan row/column backends."""
+
+    #: short name used in benchmark output tables
+    name = "abstract"
+
+    def __init__(self, table_name: str = "data") -> None:
+        self.table_name = table_name
+
+    # -- subclass contract ---------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def scan_rows(self, query: Query):
+        """Iterate row tuples in schema order (a full scan)."""
+        raise NotImplementedError
+
+    def memory_bytes(self, query: Query) -> int:
+        """Bytes this backend must materialize/stream for ``query``."""
+        raise NotImplementedError
+
+    def rows_total(self) -> int:
+        raise NotImplementedError
+
+    # -- shared execution -----------------------------------------------------
+    def execute(self, query: Query | str) -> QueryResult:
+        """Full-scan execution via the shared row executor."""
+        started = time.perf_counter()
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if parsed.table != self.table_name:
+            raise ExecutionError(
+                f"query targets table {parsed.table!r}, backend holds "
+                f"{self.table_name!r}"
+            )
+        table = execute_on_rows(parsed, self.schema, self.scan_rows(parsed))
+        elapsed = time.perf_counter() - started
+        n_rows = self.rows_total()
+        n_fields = len(self.schema)
+        stats = ScanStats(
+            rows_total=n_rows,
+            rows_scanned=n_rows,
+            chunks_total=1,
+            chunks_scanned=1,
+            cells_scanned=n_rows * n_fields,
+            memory_bytes=self.memory_bytes(parsed),
+        )
+        return QueryResult(table=table, stats=stats, elapsed_seconds=elapsed)

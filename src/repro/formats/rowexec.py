@@ -1,0 +1,121 @@
+"""The shared full-scan row executor.
+
+Every baseline backend evaluates queries by streaming rows through this
+module: WHERE via the reference expression evaluator, grouping via a
+hash table keyed by group-value tuples (the "more generic
+implementation" the paper contrasts with its counts-array loop), and
+aggregation via the mergeable states of :mod:`repro.core.aggregation`.
+The tail (HAVING / ORDER BY / LIMIT) is the shared
+:func:`repro.core.result.finalize`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.core.aggregation import AggState, make_state
+from repro.core.expr_eval import evaluate, truthy
+from repro.core.plan import (
+    is_aggregation_query,
+    plan_group_query,
+    resolve_group_aliases,
+)
+from repro.core.result import finalize
+from repro.core.table import Schema, Table
+from repro.errors import BindError
+from repro.sql.ast_nodes import Query, Star
+
+
+def execute_on_rows(
+    query: Query,
+    schema: Schema,
+    rows: Iterable[tuple],
+) -> Table:
+    """Run ``query`` over row tuples matching ``schema`` order."""
+    query = resolve_group_aliases(query)
+    names = schema.field_names
+    index_of = {name: i for i, name in enumerate(names)}
+
+    def getter(row: tuple):
+        def get_value(name: str) -> Any:
+            try:
+                return row[index_of[name]]
+            except KeyError:
+                raise BindError(f"unknown field {name!r}") from None
+
+        return get_value
+
+    matching: Iterator[tuple]
+    if query.where is not None:
+        where = query.where
+        matching = (
+            row for row in rows if truthy(evaluate(where, getter(row)))
+        )
+    else:
+        matching = iter(rows)
+
+    if is_aggregation_query(query):
+        out_rows = _execute_grouped(query, matching, getter)
+    else:
+        out_rows = [
+            {
+                item.output_name(): evaluate(item.expr, getter(row))
+                for item in query.select
+            }
+            for row in matching
+        ]
+    return finalize(out_rows, query)
+
+
+def _execute_grouped(query: Query, rows: Iterator[tuple], getter):
+    plan = plan_group_query(query)
+    groups: dict[tuple, list[AggState]] = {}
+    group_keys: dict[tuple, tuple] = {}
+
+    def new_states() -> list[AggState]:
+        return [make_state(agg) for agg in plan.aggregates]
+
+    if not plan.grouped:
+        # Global aggregation always yields exactly one group, even
+        # over zero input rows (SQL semantics).
+        groups[()] = new_states()
+        group_keys[()] = ()
+
+    for row in rows:
+        get_value = getter(row)
+        if plan.grouped:
+            values = tuple(
+                evaluate(expr, get_value) for expr in plan.group_exprs
+            )
+            # NULL-safe hash key: one NULL group, like the dictionaries.
+            key = tuple((v is not None, v) for v in values)
+        else:
+            values = ()
+            key = ()
+        states = groups.get(key)
+        if states is None:
+            states = new_states()
+            groups[key] = states
+            group_keys[key] = values
+        for agg, state in zip(plan.aggregates, states):
+            if isinstance(agg.arg, Star):
+                state.add(1)  # COUNT(*): counts every row
+            else:
+                state.add(evaluate(agg.arg, get_value))
+
+    out_rows: list[dict[str, Any]] = []
+    for key, states in groups.items():
+        values = group_keys[key]
+        env: dict[str, Any] = {}
+        for i, value in enumerate(values):
+            env[f"__group_{i}"] = value
+        for j, state in enumerate(states):
+            env[f"__agg_{j}"] = state.result()
+        out_rows.append(
+            {
+                name: evaluate(expr, env.__getitem__)
+                for name, expr in plan.items
+            }
+        )
+    return out_rows

@@ -1,0 +1,109 @@
+"""Production-style query monitoring — the Section 6 report generator.
+
+The paper reports three months of production measurements: average
+cells per click, the skipped/cached/scanned split, in-memory query
+share, and latency distributions. :class:`QueryLogCollector` gathers
+the same quantities from any stream of executed queries so examples,
+benches and deployments can print a "Section 6" report of their own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.result import QueryResult, ScanStats
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1)
+    )
+    return sorted_values[index]
+
+
+@dataclass
+class QueryLogCollector:
+    """Accumulates per-query statistics into production-style totals."""
+
+    n_queries: int = 0
+    rows_total: int = 0
+    rows_skipped: int = 0
+    rows_cached: int = 0
+    rows_scanned: int = 0
+    cells_touched: int = 0
+    disk_bytes: int = 0
+    in_memory_queries: int = 0
+    _latencies: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        result: QueryResult,
+        disk_bytes: int = 0,
+        latency_seconds: float | None = None,
+    ) -> None:
+        """Record one executed query (optionally with simulated I/O)."""
+        stats: ScanStats = result.stats
+        self.n_queries += 1
+        self.rows_total += stats.rows_total
+        self.rows_skipped += stats.rows_skipped
+        self.rows_cached += stats.rows_cached
+        self.rows_scanned += stats.rows_scanned
+        self.cells_touched += stats.cells_scanned
+        self.disk_bytes += disk_bytes
+        if disk_bytes == 0:
+            self.in_memory_queries += 1
+        self._latencies.append(
+            result.elapsed_seconds if latency_seconds is None else latency_seconds
+        )
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def skip_fraction(self) -> float:
+        return self.rows_skipped / self.rows_total if self.rows_total else 0.0
+
+    @property
+    def cache_fraction(self) -> float:
+        return self.rows_cached / self.rows_total if self.rows_total else 0.0
+
+    @property
+    def scan_fraction(self) -> float:
+        return self.rows_scanned / self.rows_total if self.rows_total else 0.0
+
+    @property
+    def in_memory_share(self) -> float:
+        return self.in_memory_queries / self.n_queries if self.n_queries else 0.0
+
+    def latency_percentiles(self) -> dict[str, float]:
+        ordered = sorted(self._latencies)
+        return {
+            "p50": percentile(ordered, 0.50),
+            "p90": percentile(ordered, 0.90),
+            "p99": percentile(ordered, 0.99),
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        }
+
+    def report(self) -> str:
+        """A Section 6-style text report."""
+        lat = self.latency_percentiles()
+        lines = [
+            f"queries: {self.n_queries}",
+            f"hypothetical full-scan rows: {self.rows_total:,}",
+            (
+                f"skipped {self.skip_fraction:.2%} | cached "
+                f"{self.cache_fraction:.2%} | scanned {self.scan_fraction:.2%}"
+            ),
+            (
+                f"in-memory queries: {self.in_memory_share:.1%} "
+                f"({self.disk_bytes / (1 << 20):.1f} MB loaded from disk)"
+            ),
+            (
+                f"latency ms: mean {1000 * lat['mean']:.1f}, "
+                f"p50 {1000 * lat['p50']:.1f}, p90 {1000 * lat['p90']:.1f}, "
+                f"p99 {1000 * lat['p99']:.1f}"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""The nested relational model — repeated fields, flattened for querying.
+
+"In order to store protocol buffer records with nested and repeated
+records (i.e., lists of sub-records), PowerDrill supports a nested
+relational model, cf. [5]. For ease of exposition, in the following we
+focus on unstructured / flat records" (paper, Notation section).
+
+This package provides the part the paper relies on but elides:
+
+- :class:`~repro.nested.table.NestedTable` — records whose fields may
+  be *repeated* (list-valued), the shape of protocol-buffer logs;
+- :meth:`~repro.nested.table.NestedTable.flatten` — the denormalizing
+  transform into the flat :class:`~repro.core.table.Table` the
+  datastore imports ("result from denormalizing a set of relational
+  tables"), duplicating scalars per repeated element and keeping a
+  record-id column so record-level counts stay recoverable;
+- record-io support for repeated fields (the protobuf wire format
+  simply repeats the tag).
+"""
+
+from repro.nested.recordio import read_nested_recordio, write_nested_recordio
+from repro.nested.table import (
+    RECORD_ID_FIELD,
+    NestedColumn,
+    NestedTable,
+)
+
+__all__ = [
+    "NestedColumn",
+    "NestedTable",
+    "RECORD_ID_FIELD",
+    "read_nested_recordio",
+    "write_nested_recordio",
+]

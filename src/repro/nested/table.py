@@ -1,0 +1,180 @@
+"""Nested tables: records with repeated (list-valued) fields.
+
+A :class:`NestedTable` holds records where each field is either scalar
+(one value per record, possibly NULL) or *repeated* (a list of zero or
+more values per record). Flattening turns it into the flat relational
+shape the column-store imports:
+
+- one output row per element of the flattened repeated field (a record
+  with an empty list contributes one row with NULL there, so records
+  are never silently dropped);
+- scalar fields are duplicated across their record's rows;
+- a synthetic ``__record_id`` column preserves record identity —
+  ``COUNT(DISTINCT __record_id)`` counts records, ``COUNT(*)`` counts
+  flattened values, mirroring the record/value duality of nested
+  stores.
+
+Only one repeated field can be flattened per derived table (flattening
+two independently repeated fields would fabricate a cross product); to
+analyze several, derive one flat table per repeated field.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.table import Column, DataType, Table
+from repro.errors import TableError
+
+#: Name of the synthetic record-identity column added by flatten().
+RECORD_ID_FIELD = "__record_id"
+
+
+class NestedColumn:
+    """A named field over records: scalar or repeated."""
+
+    __slots__ = ("name", "dtype", "repeated", "values")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[Any],
+        dtype: DataType | None = None,
+        repeated: bool = False,
+    ) -> None:
+        self.name = name
+        self.repeated = repeated
+        self.values = list(values)
+        if repeated:
+            flattened: list[Any] = []
+            for record_values in self.values:
+                if not isinstance(record_values, (list, tuple)):
+                    raise TableError(
+                        f"repeated field {name!r} needs list values per "
+                        f"record, got {type(record_values).__name__}"
+                    )
+                flattened.extend(record_values)
+            self.dtype = (
+                dtype if dtype is not None else DataType.infer(flattened)
+            )
+            for value in flattened:
+                self.dtype.validate(value)
+        else:
+            self.dtype = (
+                dtype if dtype is not None else DataType.infer(self.values)
+            )
+            for value in self.values:
+                self.dtype.validate(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class NestedTable:
+    """Records with scalar and repeated fields."""
+
+    def __init__(self, columns: Sequence[NestedColumn]) -> None:
+        if not columns:
+            raise TableError("a nested table needs at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) != 1:
+            raise TableError(f"ragged columns: lengths {sorted(lengths)}")
+        self._columns = {column.name: column for column in columns}
+        if len(self._columns) != len(columns):
+            raise TableError("duplicate column names")
+        self._order = [column.name for column in columns]
+        self._n_records = lengths.pop()
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def repeated_fields(self) -> list[str]:
+        return [
+            name for name in self._order if self._columns[name].repeated
+        ]
+
+    def column(self, name: str) -> NestedColumn:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TableError(
+                f"unknown field {name!r}; table has {self._order}"
+            ) from None
+
+    def record(self, index: int) -> dict[str, Any]:
+        """One record as a field -> value(s) dict."""
+        if not 0 <= index < self._n_records:
+            raise TableError(f"record {index} out of range")
+        return {
+            name: self._columns[name].values[index] for name in self._order
+        }
+
+    # -- flattening ---------------------------------------------------------
+    def flatten(self, repeated_field: str | None = None) -> Table:
+        """Denormalize into a flat :class:`Table`.
+
+        ``repeated_field`` selects which repeated field to explode (may
+        be omitted when the table has at most one). All other fields
+        must be scalar. The result carries :data:`RECORD_ID_FIELD`.
+        """
+        repeated = self.repeated_fields
+        if repeated_field is None:
+            if len(repeated) > 1:
+                raise TableError(
+                    f"table has several repeated fields {repeated}; "
+                    "pass repeated_field to choose one"
+                )
+            repeated_field = repeated[0] if repeated else None
+        elif repeated_field not in self._columns:
+            raise TableError(f"unknown field {repeated_field!r}")
+        elif not self._columns[repeated_field].repeated:
+            raise TableError(f"field {repeated_field!r} is not repeated")
+        others = [
+            name
+            for name in self._order
+            if name != repeated_field and self._columns[name].repeated
+        ]
+        if others:
+            raise TableError(
+                f"cannot flatten {repeated_field!r} while {others} are "
+                "also repeated; derive one flat table per repeated field"
+            )
+
+        record_ids: list[int] = []
+        flattened: list[Any] = []
+        if repeated_field is None:
+            record_ids = list(range(self._n_records))
+        else:
+            for record_index, values in enumerate(
+                self._columns[repeated_field].values
+            ):
+                if values:
+                    for value in values:
+                        record_ids.append(record_index)
+                        flattened.append(value)
+                else:
+                    # Empty list: keep the record with a NULL element.
+                    record_ids.append(record_index)
+                    flattened.append(None)
+
+        columns = [Column(RECORD_ID_FIELD, record_ids, DataType.INT)]
+        for name in self._order:
+            source = self._columns[name]
+            if name == repeated_field:
+                columns.append(Column(name, flattened, source.dtype))
+            else:
+                columns.append(
+                    Column(
+                        name,
+                        [source.values[rid] for rid in record_ids],
+                        source.dtype,
+                    )
+                )
+        return Table(columns)

@@ -1,0 +1,35 @@
+"""Factorizing raw columns into dense sorted integer codes.
+
+Both the partitioner and the reordering heuristics work on *codes*: a
+column's values mapped to their ranks among the sorted distinct values
+(NULL first). Ranks preserve order, so a range split on codes is a
+range split on values — and codes are exactly the global-ids the
+datastore will assign later.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.table import Column
+
+
+def factorize(column: Column) -> tuple[np.ndarray, list[Any]]:
+    """Map a column to (codes, sorted_distinct_values).
+
+    ``codes[i]`` is the rank of row i's value among the sorted distinct
+    values; NULL sorts first. Returned codes are int64.
+    """
+    distinct = set(column.values)
+    has_null = None in distinct
+    distinct.discard(None)
+    ordered: list[Any] = ([None] if has_null else []) + sorted(distinct)
+    rank = {value: code for code, value in enumerate(ordered)}
+    codes = np.fromiter(
+        (rank[value] for value in column.values),
+        dtype=np.int64,
+        count=len(column),
+    )
+    return codes, ordered

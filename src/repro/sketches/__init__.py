@@ -1,0 +1,11 @@
+"""Approximate distinct counting — Section 5 "Count Distinct".
+
+The paper implements the k-minimum-values algorithm of Flajolet &
+Martin as analysed by Bar-Yossef et al.: hash every value, keep the m
+smallest hashes, and estimate the cardinality from the largest of them.
+"""
+
+from repro.sketches.hashing import hash_to_unit, hash_value
+from repro.sketches.kmv import KmvSketch
+
+__all__ = ["KmvSketch", "hash_to_unit", "hash_value"]

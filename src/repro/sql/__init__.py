@@ -1,0 +1,50 @@
+"""SQL front end for the PowerDrill dialect.
+
+The Web UI of the paper translates drag'n'drop interactions into
+group-by SQL queries; this package parses that dialect:
+
+``SELECT ... FROM <table> [WHERE ...] [GROUP BY ...] [HAVING ...]
+[ORDER BY ... [ASC|DESC]] [LIMIT n]``
+
+with special support (Section 2.4) for the operators ``AND, OR, NOT,
+IN, NOT IN, =, !=`` in restrictions, plus range comparisons, arithmetic
+and the scalar/aggregate functions of :mod:`repro.sql.functions`.
+"""
+
+from repro.sql.ast_nodes import (
+    Aggregate,
+    BinaryOp,
+    FieldRef,
+    FuncCall,
+    InList,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.sql.functions import AGGREGATE_NAMES, SCALAR_FUNCTIONS, apply_scalar
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_query
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "Aggregate",
+    "BinaryOp",
+    "FieldRef",
+    "FuncCall",
+    "InList",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "SCALAR_FUNCTIONS",
+    "SelectItem",
+    "Star",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "apply_scalar",
+    "parse_query",
+    "tokenize",
+]

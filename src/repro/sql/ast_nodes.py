@@ -1,0 +1,215 @@
+"""AST node types for the PowerDrill SQL dialect.
+
+All nodes are frozen dataclasses with structural equality, and every
+expression node renders back to canonical SQL via ``sql()`` — the
+canonical form doubles as the cache / virtual-field key for
+materialized expressions (Section 5 "Complex Expressions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+Expr = Union[
+    "Literal", "FieldRef", "FuncCall", "BinaryOp", "UnaryOp", "InList",
+    "Aggregate", "Star",
+]
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, int, float or NULL."""
+
+    value: Any
+
+    def sql(self) -> str:
+        return _sql_literal(self.value)
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A reference to a column (original or virtual)."""
+
+    name: str
+
+    def sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` — only valid inside COUNT(*)."""
+
+    def sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A scalar function application, e.g. ``date(timestamp)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def sql(self) -> str:
+        if self.name == "like":
+            # LIKE is a keyword: render infix so canonical SQL reparses.
+            return f"({self.args[0].sql()} LIKE {self.args[1].sql()})"
+        rendered = ", ".join(a.sql() for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary operation; ``op`` is the canonical operator token."""
+
+    op: str  # one of: OR AND = != < <= > >= + - * /
+    left: Expr
+    right: Expr
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """NOT or unary minus."""
+
+    op: str  # 'NOT' or '-'
+    operand: Expr
+
+    def sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.sql()})"
+        return f"(-{self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (v1, v2, ...)`` with literal members."""
+
+    operand: Expr
+    values: tuple[Any, ...]
+    negated: bool = False
+
+    def sql(self) -> str:
+        rendered = ", ".join(_sql_literal(v) for v in self.values)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} ({rendered}))"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregation over a group: COUNT/SUM/MIN/MAX/AVG/COUNT DISTINCT.
+
+    ``name`` is upper-case. ``distinct`` marks COUNT(DISTINCT x);
+    ``approximate`` marks the KMV-based APPROX_COUNT_DISTINCT, with
+    ``m`` the sketch size (Section 5 "Count Distinct").
+    """
+
+    name: str
+    arg: Expr
+    distinct: bool = False
+    approximate: bool = False
+    m: int = 4096
+
+    def sql(self) -> str:
+        if self.approximate:
+            return f"APPROX_COUNT_DISTINCT({self.arg.sql()}, {self.m})"
+        if self.distinct:
+            return f"COUNT(DISTINCT {self.arg.sql()})"
+        return f"{self.name}({self.arg.sql()})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected expression with its output name."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        if self.alias is not None:
+            return self.alias
+        if isinstance(self.expr, FieldRef):
+            return self.expr.name
+        return self.expr.sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an expression or output-column reference."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT query."""
+
+    select: tuple[SelectItem, ...]
+    table: str
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = field(default=())
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+
+    def sql(self) -> str:
+        """Render back to canonical SQL."""
+        parts = [
+            "SELECT "
+            + ", ".join(
+                item.expr.sql() + (f" AS {item.alias}" if item.alias else "")
+                for item in self.select
+            ),
+            f"FROM {self.table}",
+        ]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.sql()}")
+        if self.order_by:
+            rendered = ", ".join(
+                item.expr.sql() + (" DESC" if item.descending else " ASC")
+                for item in self.order_by
+            )
+            parts.append(f"ORDER BY {rendered}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, depth first."""
+    yield expr
+    if isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Aggregate):
+        yield from walk(expr.arg)
+
+
+def referenced_fields(expr: Expr) -> set[str]:
+    """All column names referenced anywhere in ``expr``."""
+    return {node.name for node in walk(expr) if isinstance(node, FieldRef)}

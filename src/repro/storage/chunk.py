@@ -1,0 +1,166 @@
+"""Per-chunk column storage — the chunk-dictionary + elements pair.
+
+For each chunk and each column the store keeps (Section 2.3):
+
+- the *chunk-dictionary*: the sorted array of global-ids occurring in
+  the chunk, mapping chunk-id (index) <-> global-id (value);
+- the *elements*: one chunk-id per row, in row order.
+
+Because global-ids are ranks in the sorted global dictionary, the
+chunk-dictionary also exposes the chunk's value range (min/max
+global-id), which the engine uses for range-restriction skipping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.elements import Elements, encode_elements
+
+
+class ColumnChunk:
+    """One column's storage within one chunk."""
+
+    __slots__ = ("chunk_dict", "elements")
+
+    def __init__(self, chunk_dict: np.ndarray, elements: Elements) -> None:
+        if chunk_dict.ndim != 1:
+            raise StorageError("chunk dictionary must be a 1-d array")
+        if chunk_dict.size > 1 and not np.all(chunk_dict[:-1] < chunk_dict[1:]):
+            raise StorageError("chunk dictionary must be strictly ascending")
+        self.chunk_dict = np.ascontiguousarray(chunk_dict, dtype=np.uint32)
+        self.elements = elements
+
+    @classmethod
+    def from_global_ids(
+        cls, global_ids: np.ndarray, optimized: bool = True
+    ) -> "ColumnChunk":
+        """Build from the per-row global-ids of this chunk's column.
+
+        ``np.unique`` directly yields the sorted chunk-dictionary and
+        the per-row chunk-ids (the inverse indices).
+        """
+        array = np.asarray(global_ids, dtype=np.uint32)
+        chunk_dict, chunk_ids = np.unique(array, return_inverse=True)
+        elements = encode_elements(
+            chunk_ids.astype(np.uint32), int(chunk_dict.size), optimized=optimized
+        )
+        return cls(chunk_dict, elements)
+
+    @property
+    def n_rows(self) -> int:
+        return self.elements.n_rows
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct values (chunk-dictionary entries)."""
+        return int(self.chunk_dict.size)
+
+    def min_global_id(self) -> int:
+        """Smallest global-id present (value range lower bound)."""
+        if not self.chunk_dict.size:
+            raise StorageError("empty chunk dictionary has no min")
+        return int(self.chunk_dict[0])
+
+    def max_global_id(self) -> int:
+        """Largest global-id present (value range upper bound)."""
+        if not self.chunk_dict.size:
+            raise StorageError("empty chunk dictionary has no max")
+        return int(self.chunk_dict[-1])
+
+    def chunk_id_of(self, global_id: int) -> int | None:
+        """Chunk-id for ``global_id``, or None if absent from the chunk."""
+        index = int(np.searchsorted(self.chunk_dict, global_id))
+        if index < self.chunk_dict.size and self.chunk_dict[index] == global_id:
+            return index
+        return None
+
+    def contains_global_id(self, global_id: int) -> bool:
+        return self.chunk_id_of(global_id) is not None
+
+    def contains_any(self, global_ids: np.ndarray) -> bool:
+        """Whether any of ``global_ids`` occurs in this chunk."""
+        if not global_ids.size or not self.chunk_dict.size:
+            return False
+        positions = np.searchsorted(self.chunk_dict, global_ids)
+        positions = np.clip(positions, 0, self.chunk_dict.size - 1)
+        return bool(np.any(self.chunk_dict[positions] == global_ids))
+
+    def chunk_ids_of(self, global_ids: np.ndarray) -> np.ndarray:
+        """Chunk-ids of the given global-ids, dropping absent ones."""
+        if not global_ids.size or not self.chunk_dict.size:
+            return np.zeros(0, dtype=np.int64)
+        positions = np.searchsorted(self.chunk_dict, global_ids)
+        positions = np.clip(positions, 0, self.chunk_dict.size - 1)
+        present = self.chunk_dict[positions] == global_ids
+        return positions[present].astype(np.int64)
+
+    def row_global_ids(self) -> np.ndarray:
+        """Per-row global-ids (dereferencing elements via the dict)."""
+        return self.chunk_dict[self.elements.as_array()]
+
+    def dict_size_bytes(self) -> int:
+        """Analytic size of the chunk-dictionary (4 bytes/entry)."""
+        return 4 * int(self.chunk_dict.size)
+
+    def elements_size_bytes(self) -> int:
+        return self.elements.size_bytes()
+
+    def size_bytes(self) -> int:
+        return self.dict_size_bytes() + self.elements_size_bytes()
+
+    def to_bytes(self) -> bytes:
+        """Serialized dict + elements payload (for compression benches).
+
+        The chunk-dictionary is strictly ascending, so it serializes as
+        varint deltas — small consecutive gaps shrink to one byte,
+        which is what makes the Zippy-stage experiments of Section 3
+        behave like the paper's.
+        """
+        from repro.compress.varint import encode_varint
+
+        out = bytearray(encode_varint(int(self.chunk_dict.size)))
+        previous = 0
+        for gid in self.chunk_dict:
+            out += encode_varint(int(gid) - previous)
+            previous = int(gid)
+        out += self.elements.to_bytes()
+        return bytes(out)
+
+
+class Chunk:
+    """A horizontal slice of the table: one ColumnChunk per field."""
+
+    def __init__(
+        self, chunk_index: int, n_rows: int, columns: Mapping[str, ColumnChunk]
+    ) -> None:
+        for name, column in columns.items():
+            if column.n_rows != n_rows:
+                raise StorageError(
+                    f"column {name!r} has {column.n_rows} rows, chunk has {n_rows}"
+                )
+        self.chunk_index = chunk_index
+        self.n_rows = n_rows
+        self.columns = dict(columns)
+
+    def column(self, field: str) -> ColumnChunk:
+        try:
+            return self.columns[field]
+        except KeyError:
+            raise StorageError(f"chunk has no column {field!r}") from None
+
+    def add_column(self, field: str, column: ColumnChunk) -> None:
+        """Attach a (possibly virtual) column to this chunk."""
+        if column.n_rows != self.n_rows:
+            raise StorageError(
+                f"column {field!r} has {column.n_rows} rows, chunk has {self.n_rows}"
+            )
+        self.columns[field] = column
+
+    def size_bytes(self, fields: list[str] | None = None) -> int:
+        """Total encoded size over ``fields`` (default: all columns)."""
+        names = fields if fields is not None else list(self.columns)
+        return sum(self.column(name).size_bytes() for name in names)

@@ -1,0 +1,154 @@
+"""Two-layer hybrid store: uncompressed + compressed in memory.
+
+Section 3 ("Generic Compression Algorithm") ends with the production
+design: "a hybrid approach with two 'layers' of data-structures held
+in-memory: uncompressed and compressed. Moving items between these
+layers or finally evicting them entirely can be done, e.g., with the
+well-known LRU cache eviction heuristic."
+
+:class:`HybridLayerStore` keeps named byte blobs. Reads hit the hot
+(uncompressed) layer first; on a hot miss the cold (compressed) layer is
+decompressed and the blob promoted. When the hot layer overflows, its
+least-recently-used blobs are *demoted* (compressed into the cold
+layer); when the cold layer overflows, blobs are dropped entirely and
+the next access goes to the ``loader`` callback (simulating a disk
+read). All movements are counted so experiments can report hot / cold /
+disk hit splits — the quantity behind Figure 5.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.compress.registry import get_codec
+from repro.errors import StorageError
+
+
+@dataclass
+class LayerStats:
+    """Where reads were served from, and byte traffic between layers."""
+
+    hot_hits: int = 0
+    cold_hits: int = 0
+    loads: int = 0
+    demotions: int = 0
+    drops: int = 0
+    bytes_decompressed: int = 0
+    bytes_loaded: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hot_hits + self.cold_hits + self.loads
+
+    @property
+    def in_memory_rate(self) -> float:
+        """Fraction of reads served without the loader (i.e. from RAM)."""
+        if not self.accesses:
+            return 0.0
+        return (self.hot_hits + self.cold_hits) / self.accesses
+
+
+class _LruLayer:
+    """A weighted LRU dict that hands overflow victims to a callback."""
+
+    def __init__(self, capacity: float, on_evict: Callable[[str, bytes], None]):
+        if capacity <= 0:
+            raise StorageError(f"layer capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.used = 0.0
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._on_evict = on_evict
+
+    def get(self, key: str) -> bytes | None:
+        data = self._entries.get(key)
+        if data is not None:
+            self._entries.move_to_end(key)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        if key in self._entries:
+            self.used -= len(self._entries.pop(key))
+        self._entries[key] = data
+        self.used += len(data)
+        while self.used > self.capacity and len(self._entries) > 1:
+            victim_key, victim = self._entries.popitem(last=False)
+            self.used -= len(victim)
+            self._on_evict(victim_key, victim)
+
+    def remove(self, key: str) -> None:
+        data = self._entries.pop(key, None)
+        if data is not None:
+            self.used -= len(data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HybridLayerStore:
+    """Hot (raw) + cold (compressed) in-memory layers over byte blobs."""
+
+    def __init__(
+        self,
+        hot_capacity_bytes: float,
+        cold_capacity_bytes: float,
+        codec: str = "zippy",
+        loader: Callable[[str], bytes] | None = None,
+    ) -> None:
+        self._codec = get_codec(codec)
+        self._hot = _LruLayer(hot_capacity_bytes, self._demote)
+        self._cold = _LruLayer(cold_capacity_bytes, self._drop)
+        self._loader = loader
+        self.stats = LayerStats()
+
+    def _demote(self, key: str, data: bytes) -> None:
+        self.stats.demotions += 1
+        self._cold.put(key, self._codec.compress(data))
+
+    def _drop(self, key: str, data: bytes) -> None:
+        self.stats.drops += 1
+
+    def put(self, key: str, data: bytes) -> None:
+        """Insert a blob into the hot layer (demoting LRU overflow)."""
+        self._cold.remove(key)
+        self._hot.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        """Read a blob, promoting it to hot on a cold/loader hit."""
+        data = self._hot.get(key)
+        if data is not None:
+            self.stats.hot_hits += 1
+            return data
+        compressed = self._cold.get(key)
+        if compressed is not None:
+            self.stats.cold_hits += 1
+            self.stats.bytes_decompressed += len(compressed)
+            data = self._codec.decompress(compressed)
+            self._cold.remove(key)
+            self._hot.put(key, data)
+            return data
+        if self._loader is None:
+            raise StorageError(f"blob {key!r} not resident and no loader set")
+        data = self._loader(key)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += len(data)
+        self._hot.put(key, data)
+        return data
+
+    def contains_hot(self, key: str) -> bool:
+        return key in self._hot
+
+    def contains_cold(self, key: str) -> bool:
+        return key in self._cold
+
+    @property
+    def hot_used_bytes(self) -> float:
+        return self._hot.used
+
+    @property
+    def cold_used_bytes(self) -> float:
+        return self._cold.used

@@ -1,0 +1,337 @@
+"""The nibble-trie global dictionary — Section 3 "Optimize Global-Dictionaries".
+
+Strings are stored in a trie whose inner nodes represent 4-bit parts of
+the UTF-8 bytes (high nibble first), "as opposed to the more standard
+choice of characters". The whole trie is serialized into one
+"handcrafted encoding stored in a large byte array"; lookups walk that
+array directly, iterating over at most 16 children per node, exactly as
+the paper describes.
+
+Two properties make this compact and navigable:
+
+- *path compression*: maximal single-child chains are collapsed into a
+  per-node ``skip`` nibble sequence (packed two per byte), so unique
+  suffixes cost their raw bytes while shared prefixes are stored once —
+  this is where the paper's 67 MB -> 3.4 MB ``table_name`` reduction
+  comes from;
+- a nibble-order depth-first walk enumerates strings in byte-
+  lexicographic (== code-point) order, so global-ids fall out of the
+  walk: the id of a string is its pre-order terminal index. Both lookup
+  directions work without auxiliary structures.
+
+Node wire layout (recursive)::
+
+    node  := flags(1) [varint(n_skip_nibbles) packed_nibbles]
+             mask(2, little) varint(subtree_terminal_count) child*
+    child := varint(len(node_bytes)) node
+
+``flags``: bit 0 = terminal (a string ends after this node's skip),
+bit 1 = node has a skip sequence. ``mask`` bit ``i`` marks a child edge
+for nibble ``i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.compress.varint import decode_varint, encode_varint
+from repro.errors import DictionaryError
+from repro.storage.dictionary import Dictionary
+
+_TERMINAL = 0x01
+_HAS_SKIP = 0x02
+
+
+class _BuildNode:
+    """Transient trie node used only during construction."""
+
+    __slots__ = ("children", "terminal", "count", "skip")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _BuildNode] = {}
+        self.terminal = False
+        self.count = 0
+        self.skip: list[int] = []
+
+
+def _nibbles(value: str) -> list[int]:
+    """The UTF-8 nibble sequence of ``value`` (high nibble first)."""
+    out: list[int] = []
+    for byte in value.encode("utf-8"):
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return out
+
+
+def _pack_nibbles(nibbles: Sequence[int]) -> bytes:
+    """Pack nibbles two per byte (high first), zero-padding the tail."""
+    out = bytearray()
+    for i in range(0, len(nibbles), 2):
+        high = nibbles[i]
+        low = nibbles[i + 1] if i + 1 < len(nibbles) else 0
+        out.append((high << 4) | low)
+    return bytes(out)
+
+
+def _unpack_nibbles(data: bytes, count: int) -> list[int]:
+    out: list[int] = []
+    for byte in data:
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return out[:count]
+
+
+def _build(values: Sequence[str]) -> _BuildNode:
+    root = _BuildNode()
+    for value in values:
+        node = root
+        for nibble in _nibbles(value):
+            child = node.children.get(nibble)
+            if child is None:
+                child = _BuildNode()
+                node.children[nibble] = child
+            node = child
+        if node.terminal:
+            raise DictionaryError(f"duplicate dictionary value {value!r}")
+        node.terminal = True
+    _compress(root)
+    _finish(root)
+    return root
+
+
+def _compress(node: _BuildNode) -> None:
+    """Collapse single-child non-terminal chains into skip sequences."""
+    for nibble, child in list(node.children.items()):
+        # Walk the maximal chain below this edge.
+        skip: list[int] = []
+        current = child
+        while (
+            not current.terminal
+            and len(current.children) == 1
+            and not current.skip
+        ):
+            (next_nibble, next_child), = current.children.items()
+            skip.append(next_nibble)
+            current = next_child
+        if skip:
+            current.skip = skip
+            node.children[nibble] = current
+        _compress(current)
+
+
+def _finish(node: _BuildNode) -> int:
+    count = 1 if node.terminal else 0
+    for child in node.children.values():
+        count += _finish(child)
+    node.count = count
+    return count
+
+
+def _serialize(node: _BuildNode, out: bytearray) -> None:
+    flags = (_TERMINAL if node.terminal else 0) | (
+        _HAS_SKIP if node.skip else 0
+    )
+    out.append(flags)
+    if node.skip:
+        out += encode_varint(len(node.skip))
+        out += _pack_nibbles(node.skip)
+    mask = 0
+    for nibble in node.children:
+        mask |= 1 << nibble
+    out += mask.to_bytes(2, "little")
+    out += encode_varint(node.count)
+    for nibble in sorted(node.children):
+        child_bytes = bytearray()
+        _serialize(node.children[nibble], child_bytes)
+        out += encode_varint(len(child_bytes))
+        out += child_bytes
+
+
+class TrieDictionary(Dictionary):
+    """String dictionary backed by a serialized, path-compressed nibble trie."""
+
+    kind = "trie"
+
+    def __init__(self, buffer: bytes, n_values: int, has_null: bool = False) -> None:
+        super().__init__(has_null)
+        self._buffer = buffer
+        self._count = n_values
+
+    @classmethod
+    def from_sorted(
+        cls, values: Sequence[str], has_null: bool = False
+    ) -> "TrieDictionary":
+        """Build from strictly sorted distinct strings."""
+        if any(values[i] >= values[i + 1] for i in range(len(values) - 1)):
+            raise DictionaryError("trie dictionary requires strictly sorted input")
+        out = bytearray()
+        _serialize(_build(values), out)
+        return cls(bytes(out), len(values), has_null=has_null)
+
+    @classmethod
+    def from_values(cls, values, has_null: bool | None = None) -> "TrieDictionary":
+        """Build from arbitrary (unsorted, possibly null) values."""
+        distinct = set(values)
+        null_seen = None in distinct
+        distinct.discard(None)
+        return cls.from_sorted(
+            sorted(distinct),
+            has_null=null_seen if has_null is None else has_null,
+        )
+
+    # -- node parsing ----------------------------------------------------
+    def _node(self, pos: int) -> tuple[bool, list[int], int, int, int]:
+        """Parse a node; returns (terminal, skip, mask, count, body_pos)."""
+        buf = self._buffer
+        flags = buf[pos]
+        pos += 1
+        skip: list[int] = []
+        if flags & _HAS_SKIP:
+            n_skip, pos = decode_varint(buf, pos)
+            n_bytes = (n_skip + 1) // 2
+            skip = _unpack_nibbles(buf[pos : pos + n_bytes], n_skip)
+            pos += n_bytes
+        mask = int.from_bytes(buf[pos : pos + 2], "little")
+        pos += 2
+        count, pos = decode_varint(buf, pos)
+        return bool(flags & _TERMINAL), skip, mask, count, pos
+
+    def _children(self, mask: int, body: int):
+        """Yield (nibble, node_pos, node_len) for each child, in order."""
+        pos = body
+        for nibble in range(16):
+            if mask & (1 << nibble):
+                length, node_pos = decode_varint(self._buffer, pos)
+                yield nibble, node_pos, length
+                pos = node_pos + length
+
+    def _child_count(self, node_pos: int) -> int:
+        """Subtree terminal count of the node at ``node_pos`` (header peek)."""
+        buf = self._buffer
+        flags = buf[node_pos]
+        pos = node_pos + 1
+        if flags & _HAS_SKIP:
+            n_skip, pos = decode_varint(buf, pos)
+            pos += (n_skip + 1) // 2
+        count, __ = decode_varint(buf, pos + 2)
+        return count
+
+    # -- Dictionary interface ---------------------------------------------
+    @property
+    def _n_non_null(self) -> int:
+        return self._count
+
+    def _value_at(self, index: int) -> str:
+        if not 0 <= index < self._count:
+            raise DictionaryError(f"trie rank {index} out of range")
+        nibbles: list[int] = []
+        pos = 0
+        remaining = index
+        while True:
+            terminal, skip, mask, __, body = self._node(pos)
+            nibbles.extend(skip)
+            if terminal:
+                if remaining == 0:
+                    break
+                remaining -= 1
+            descended = False
+            for nibble, node_pos, __ in self._children(mask, body):
+                count = self._child_count(node_pos)
+                if remaining < count:
+                    nibbles.append(nibble)
+                    pos = node_pos
+                    descended = True
+                    break
+                remaining -= count
+            if not descended:
+                raise DictionaryError("corrupt trie: rank walk fell off")
+        raw = bytes(
+            (nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2)
+        )
+        return raw.decode("utf-8")
+
+    def _rank_of(self, value: Any) -> int | None:
+        if not isinstance(value, str):
+            return None
+        target = _nibbles(value)
+        rank = 0
+        pos = 0
+        consumed = 0
+        # The root never has a skip; loop invariant: ``pos`` is a node
+        # whose skip has not yet been matched against the target.
+        while True:
+            terminal, skip, mask, __, body = self._node(pos)
+            if skip:
+                if target[consumed : consumed + len(skip)] != skip:
+                    return None
+                consumed += len(skip)
+            if consumed == len(target):
+                return rank if terminal else None
+            if terminal:
+                rank += 1
+            wanted = target[consumed]
+            if not mask & (1 << wanted):
+                return None
+            for nibble, node_pos, __ in self._children(mask, body):
+                if nibble == wanted:
+                    pos = node_pos
+                    break
+                rank += self._child_count(node_pos)
+            consumed += 1
+
+    def _rank_lower_bound(self, value: Any) -> int:
+        """Count stored strings strictly smaller than ``value``.
+
+        Walks like :meth:`_rank_of` but on any divergence adds the
+        terminal counts of the subtrees that sort before the target.
+        UTF-8 byte (== nibble) order equals code-point order, so the
+        walk implements string comparison exactly.
+        """
+        if not isinstance(value, str):
+            raise DictionaryError(
+                f"cannot order-compare trie dictionary with {type(value).__name__}"
+            )
+        target = _nibbles(value)
+        rank = 0
+        pos = 0
+        consumed = 0
+        while True:
+            terminal, skip, mask, count, body = self._node(pos)
+            if skip:
+                remaining = target[consumed : consumed + len(skip)]
+                for i, nibble in enumerate(remaining):
+                    if skip[i] < nibble:
+                        # Whole subtree sorts before the target.
+                        return rank + count
+                    if skip[i] > nibble:
+                        return rank
+                if len(remaining) < len(skip):
+                    # Target ends inside the skip: target < subtree.
+                    return rank
+                consumed += len(skip)
+            if consumed == len(target):
+                # Strings equal to the target are not strictly smaller.
+                return rank
+            if terminal:
+                rank += 1  # the string ending here is a strict prefix
+            wanted = target[consumed]
+            descended = False
+            for nibble, node_pos, __ in self._children(mask, body):
+                if nibble < wanted:
+                    rank += self._child_count(node_pos)
+                elif nibble == wanted:
+                    pos = node_pos
+                    consumed += 1
+                    descended = True
+                    break
+                else:
+                    break
+            if not descended:
+                return rank
+
+    def _payload_size(self) -> int:
+        return len(self._buffer)
+
+    def to_bytes(self) -> bytes:
+        return self._buffer

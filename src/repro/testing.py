@@ -1,0 +1,86 @@
+"""Comparison helpers for validating results across backends.
+
+All backends produce identical results *up to floating-point summation
+order*: SUM/AVG accumulate in different orders (row order vs. per-chunk
+vectorized bincounts), and FP addition is not associative. These
+helpers compare result rows exactly for everything except floats, which
+are compared with a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+_DEFAULT_REL_TOL = 1e-9
+_DEFAULT_ABS_TOL = 1e-12
+
+
+def values_equal(
+    a: Any,
+    b: Any,
+    rel_tol: float = _DEFAULT_REL_TOL,
+    abs_tol: float = _DEFAULT_ABS_TOL,
+) -> bool:
+    """Equality with float tolerance; ints and floats may mix."""
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return rows_equal(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    return a == b
+
+
+def rows_equal(
+    row_a: Sequence[Any],
+    row_b: Sequence[Any],
+    rel_tol: float = _DEFAULT_REL_TOL,
+    abs_tol: float = _DEFAULT_ABS_TOL,
+) -> bool:
+    """Tuple equality with per-value float tolerance."""
+    if len(row_a) != len(row_b):
+        return False
+    return all(
+        values_equal(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+        for a, b in zip(row_a, row_b)
+    )
+
+
+def results_equal(
+    rows_a: Sequence[Sequence[Any]],
+    rows_b: Sequence[Sequence[Any]],
+    rel_tol: float = _DEFAULT_REL_TOL,
+    abs_tol: float = _DEFAULT_ABS_TOL,
+) -> bool:
+    """Row-list equality with float tolerance (order-sensitive)."""
+    if len(rows_a) != len(rows_b):
+        return False
+    return all(
+        rows_equal(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+        for a, b in zip(rows_a, rows_b)
+    )
+
+
+def assert_results_equal(
+    rows_a: Sequence[Sequence[Any]],
+    rows_b: Sequence[Sequence[Any]],
+    rel_tol: float = _DEFAULT_REL_TOL,
+    abs_tol: float = _DEFAULT_ABS_TOL,
+    context: str = "",
+) -> None:
+    """Assert row-list equality with a helpful diff on failure."""
+    if len(rows_a) != len(rows_b):
+        raise AssertionError(
+            f"{context}: {len(rows_a)} rows vs {len(rows_b)} rows\n"
+            f"  a: {list(rows_a)[:5]}\n  b: {list(rows_b)[:5]}"
+        )
+    for index, (a, b) in enumerate(zip(rows_a, rows_b)):
+        if not rows_equal(a, b, rel_tol=rel_tol, abs_tol=abs_tol):
+            raise AssertionError(
+                f"{context}: rows differ at index {index}:\n"
+                f"  a: {a}\n  b: {b}"
+            )

@@ -1,0 +1,30 @@
+"""Workloads: the synthetic PowerDrill query-log dataset and queries.
+
+- :mod:`repro.workload.generator` -- a deterministic stand-in for the
+  paper's experimental table (5M rows of PowerDrill's own query logs
+  with ``timestamp``, ``table_name``, ``latency``, ``country``).
+- :mod:`repro.workload.queries` -- the paper's Queries 1-3 plus a
+  drill-down session generator reproducing the Web UI's production
+  query mix (conjunctions of IN restrictions on correlated fields).
+"""
+
+from repro.workload.generator import LogsConfig, generate_query_logs
+from repro.workload.queries import (
+    DrillDownConfig,
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    generate_drilldown_sessions,
+    paper_queries,
+)
+
+__all__ = [
+    "DrillDownConfig",
+    "LogsConfig",
+    "QUERY_1",
+    "QUERY_2",
+    "QUERY_3",
+    "generate_drilldown_sessions",
+    "generate_query_logs",
+    "paper_queries",
+]

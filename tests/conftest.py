@@ -1,0 +1,67 @@
+"""Shared fixtures: a small synthetic log table and stores over it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import Table
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+SMALL_ROWS = 4_000
+
+
+@pytest.fixture(scope="session")
+def log_table() -> Table:
+    """A small deterministic PowerDrill-style log table."""
+    return generate_query_logs(
+        LogsConfig(n_rows=SMALL_ROWS, n_days=30, n_teams=12, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def null_log_table() -> Table:
+    """Same shape but with NULL latencies mixed in."""
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=SMALL_ROWS,
+            n_days=30,
+            n_teams=12,
+            seed=77,
+            null_latency_fraction=0.07,
+        )
+    )
+
+
+def make_store(table: Table, **overrides) -> DataStore:
+    """Build a partitioned, optimized datastore over ``table``."""
+    options = DataStoreOptions(
+        partition_fields=("country", "table_name"),
+        max_chunk_rows=max(64, table.n_rows // 40),
+        reorder_rows=True,
+        **overrides,
+    )
+    return DataStore.from_table(table, options)
+
+
+@pytest.fixture(scope="session")
+def log_store(log_table) -> DataStore:
+    return make_store(log_table)
+
+
+@pytest.fixture(scope="session")
+def basic_store(log_table) -> DataStore:
+    """The 'Basic' configuration: one chunk, canonical encodings."""
+    return DataStore.from_table(
+        log_table,
+        DataStoreOptions(
+            partition_fields=None,
+            optimized_columns=False,
+            optimized_dicts=False,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def null_store(null_log_table) -> DataStore:
+    return make_store(null_log_table)

@@ -1,0 +1,100 @@
+"""CLI tests: import / query / info / demo paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.formats import write_csv
+from repro.storage.serde import load_store
+
+
+@pytest.fixture()
+def csv_path(log_table, tmp_path):
+    path = str(tmp_path / "logs.csv")
+    write_csv(log_table, path)
+    return path
+
+
+class TestImport:
+    def test_import_creates_loadable_store(self, csv_path, tmp_path, capsys):
+        out = str(tmp_path / "s.pds")
+        code = main(
+            [
+                "import", csv_path, out,
+                "--partition", "country,table_name",
+                "--chunk-rows", "200",
+            ]
+        )
+        assert code == 0
+        assert "imported" in capsys.readouterr().out
+        store = load_store(out)
+        assert store.n_chunks > 1
+        assert store.options.reorder_rows
+
+    def test_import_without_partition(self, csv_path, tmp_path):
+        out = str(tmp_path / "s.pds")
+        assert main(["import", csv_path, out]) == 0
+        assert load_store(out).n_chunks == 1
+
+    def test_unsupported_format(self, tmp_path, capsys):
+        bad = str(tmp_path / "data.xyz")
+        open(bad, "w").write("")
+        code = main(["import", bad, str(tmp_path / "s.pds")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_csv_type_sniffing(self, tmp_path):
+        path = str(tmp_path / "typed.csv")
+        open(path, "w").write("a,b,c\n1,1.5,x\n2,\\N,y\n")
+        out = str(tmp_path / "typed.pds")
+        assert main(["import", path, out]) == 0
+        store = load_store(out)
+        assert store.field("a").dictionary.values() == [1, 2]
+        assert store.field("b").dictionary.values() == [None, 1.5]
+        assert store.field("c").dictionary.values() == ["x", "y"]
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store_path(self, csv_path, tmp_path):
+        out = str(tmp_path / "s.pds")
+        main(["import", csv_path, out, "--partition", "country,table_name",
+              "--chunk-rows", "200"])
+        return out
+
+    def test_query_prints_rows_and_stats(self, store_path, capsys):
+        code = main(
+            [
+                "query", store_path,
+                "SELECT country, COUNT(*) c FROM data "
+                "GROUP BY country ORDER BY c DESC LIMIT 3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "country" in out
+        assert "skipped" in out
+
+    def test_quiet_suppresses_stats(self, store_path, capsys):
+        main(["query", store_path, "SELECT COUNT(*) FROM data", "--quiet"])
+        out = capsys.readouterr().out
+        assert "skipped" not in out
+
+    def test_bad_sql_is_an_error(self, store_path, capsys):
+        code = main(["query", store_path, "SELEKT nope"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfoAndDemo:
+    def test_info(self, csv_path, tmp_path, capsys):
+        out = str(tmp_path / "s.pds")
+        main(["import", csv_path, out, "--partition", "country"])
+        assert main(["info", out]) == 0
+        text = capsys.readouterr().out
+        assert "table_name" in text
+        assert "total encoded" in text
+
+    def test_demo_runs_paper_queries(self, capsys):
+        assert main(["demo", "--rows", "2000"]) == 0
+        text = capsys.readouterr().out
+        assert text.count("--") >= 3  # three query banners

@@ -1,0 +1,264 @@
+"""DataStore tests: import invariants, queries, caching, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions, factorize_values
+from repro.core.table import Table
+from repro.errors import BindError, ExecutionError, UnsupportedQueryError
+from tests.conftest import make_store
+
+
+class TestImport:
+    def test_round_trip_per_field(self, log_table, log_store):
+        """decode(encode(column)) == reordered original column."""
+        from repro.partition.composite import PartitionSpec, partition_table
+        from repro.partition.reorder import lexicographic_order, reorder_table
+
+        order = lexicographic_order(log_table, ["country", "table_name"])
+        reordered = reorder_table(log_table, order)
+        spec = PartitionSpec(
+            ("country", "table_name"), log_store.options.max_chunk_rows
+        )
+        chunk_rows = partition_table(reordered, spec)
+        for name in log_table.field_names:
+            store_field = log_store.field(name)
+            decoded = []
+            for chunk_index in range(log_store.n_chunks):
+                gids = store_field.row_global_ids(chunk_index)
+                decoded.extend(store_field.value_array()[gids].tolist())
+            expected = []
+            for rows in chunk_rows:
+                expected.extend(
+                    reordered.column(name).values[int(i)] for i in rows
+                )
+            assert decoded == expected
+
+    def test_chunk_row_counts_sum(self, log_table, log_store):
+        assert sum(log_store.chunk_row_counts) == log_table.n_rows
+
+    def test_global_ids_are_ranks(self, log_store):
+        dictionary = log_store.field("country").dictionary
+        values = dictionary.values()
+        assert values == sorted(values)
+
+    def test_chunk_dicts_subset_of_global(self, log_store):
+        field = log_store.field("table_name")
+        n = len(field.dictionary)
+        for chunk in field.chunks:
+            if chunk.chunk_dict.size:
+                assert int(chunk.chunk_dict.max()) < n
+
+    def test_single_chunk_without_partitioning(self, log_table):
+        store = DataStore.from_table(log_table, DataStoreOptions())
+        assert store.n_chunks == 1
+
+    def test_memory_smaller_with_optimizations(self, log_table):
+        basic = DataStore.from_table(
+            log_table,
+            DataStoreOptions(optimized_columns=False, optimized_dicts=False),
+        )
+        optimized = make_store(log_table)
+        fields = ["country", "table_name", "latency"]
+        assert (
+            optimized.memory_usage(fields)["total"]
+            < basic.memory_usage(fields)["total"]
+        )
+
+    def test_unknown_field(self, log_store):
+        with pytest.raises(BindError):
+            log_store.field("nope")
+
+
+class TestQueries:
+    def test_count_star_matches_python(self, log_table, log_store):
+        from collections import Counter
+
+        result = log_store.execute(
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country "
+            "ORDER BY c DESC LIMIT 100"
+        )
+        expected = Counter(log_table.column("country").values)
+        assert dict(result.rows()) == dict(expected)
+
+    def test_where_filters(self, log_table, log_store):
+        result = log_store.execute(
+            "SELECT COUNT(*) FROM data WHERE country = 'US'"
+        )
+        expected = sum(
+            1 for c in log_table.column("country").values if c == "US"
+        )
+        assert result.rows() == [(expected,)]
+
+    def test_sum_latency(self, log_table, log_store):
+        result = log_store.execute("SELECT SUM(latency) FROM data")
+        expected = sum(log_table.column("latency").values)
+        assert result.rows()[0][0] == pytest.approx(expected)
+
+    def test_group_by_alias_of_expression(self, log_store):
+        result = log_store.execute(
+            "SELECT date(timestamp) as d, COUNT(*) FROM data "
+            "GROUP BY d ORDER BY d ASC LIMIT 3"
+        )
+        dates = [row[0] for row in result.rows()]
+        assert dates == sorted(dates)
+        assert all(len(d) == 10 for d in dates)
+
+    def test_multi_group_by(self, log_table, log_store):
+        result = log_store.execute(
+            "SELECT country, user_name, COUNT(*) as c FROM data "
+            "GROUP BY country, user_name ORDER BY c DESC LIMIT 5"
+        )
+        from collections import Counter
+
+        pairs = Counter(
+            zip(
+                log_table.column("country").values,
+                log_table.column("user_name").values,
+            )
+        )
+        top = result.rows()[0]
+        assert pairs[(top[0], top[1])] == top[2]
+
+    def test_ungrouped_aggregate_on_empty_match(self, log_store):
+        result = log_store.execute(
+            "SELECT COUNT(*), SUM(latency) FROM data WHERE country = 'XX'"
+        )
+        assert result.rows() == [(0, None)]
+
+    def test_grouped_empty_match_returns_no_rows(self, log_store):
+        result = log_store.execute(
+            "SELECT country, COUNT(*) FROM data WHERE country = 'XX' "
+            "GROUP BY country"
+        )
+        assert result.rows() == []
+
+    def test_projection_query(self, log_table, log_store):
+        result = log_store.execute(
+            "SELECT table_name FROM data WHERE country = 'FI' LIMIT 5"
+        )
+        names = set(log_table.column("table_name").values)
+        assert all(row[0] in names for row in result.rows())
+
+    def test_having(self, log_store):
+        result = log_store.execute(
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country "
+            "HAVING c > 100 ORDER BY c DESC"
+        )
+        assert all(row[1] > 100 for row in result.rows())
+
+    def test_expression_over_aggregates(self, log_store):
+        result = log_store.execute(
+            "SELECT SUM(latency) / COUNT(*) as mean, AVG(latency) as avg "
+            "FROM data"
+        )
+        mean, avg = result.rows()[0]
+        assert mean == pytest.approx(avg)
+
+    def test_wrong_table_name(self, log_store):
+        with pytest.raises(ExecutionError):
+            log_store.execute("SELECT COUNT(*) FROM other_table")
+
+    def test_ungrouped_field_rejected(self, log_store):
+        with pytest.raises(UnsupportedQueryError):
+            log_store.execute("SELECT country, COUNT(*) FROM data")
+
+    def test_min_max_strings_via_ranks(self, log_table, log_store):
+        result = log_store.execute(
+            "SELECT MIN(table_name), MAX(table_name) FROM data"
+        )
+        values = log_table.column("table_name").values
+        assert result.rows() == [(min(values), max(values))]
+
+
+class TestScanStats:
+    def test_full_scan_counts_all_rows(self, log_table, log_store):
+        result = log_store.execute("SELECT COUNT(*) FROM data")
+        stats = result.stats
+        assert stats.rows_total == log_table.n_rows
+        assert stats.rows_skipped == 0
+
+    def test_selective_query_skips(self, log_store):
+        result = log_store.execute(
+            "SELECT COUNT(*) FROM data WHERE country = 'FI'"
+        )
+        assert result.stats.rows_skipped > 0
+        assert result.stats.skip_fraction > 0.5
+
+    def test_fractions_sum_to_one(self, log_store):
+        result = log_store.execute(
+            "SELECT COUNT(*) FROM data WHERE country IN ('US', 'DE')"
+        )
+        stats = result.stats
+        total = stats.rows_skipped + stats.rows_cached + stats.rows_scanned
+        assert total == stats.rows_total
+
+    def test_fields_accessed_recorded(self, log_store):
+        result = log_store.execute(
+            "SELECT country, SUM(latency) FROM data GROUP BY country"
+        )
+        assert "country" in result.stats.fields_accessed
+        assert "latency" in result.stats.fields_accessed
+
+    def test_memory_counts_only_accessed_fields(self, log_store):
+        narrow = log_store.execute("SELECT COUNT(*) FROM data WHERE country = 'US'")
+        wide = log_store.execute(
+            "SELECT table_name, COUNT(*) FROM data GROUP BY table_name LIMIT 1"
+        )
+        assert narrow.stats.memory_bytes < wide.stats.memory_bytes
+
+
+class TestChunkResultCache:
+    def test_repeat_query_served_from_cache(self, log_table):
+        store = make_store(log_table)
+        query = "SELECT country, COUNT(*) FROM data GROUP BY country"
+        first = store.execute(query)
+        second = store.execute(query)
+        assert first.rows() == second.rows()
+        assert first.stats.rows_cached == 0
+        assert second.stats.rows_cached == second.stats.rows_total
+        assert second.stats.rows_scanned == 0
+
+    def test_cache_applies_across_different_where(self, log_table):
+        # A different WHERE whose fully-active chunks were already
+        # computed reuses those chunk results (Section 6 caching).
+        store = make_store(log_table)
+        store.execute("SELECT country, COUNT(*) FROM data GROUP BY country")
+        countries = sorted(set(log_table.column("country").values))
+        listed = ", ".join(f"'{c}'" for c in countries)
+        restricted = store.execute(
+            f"SELECT country, COUNT(*) FROM data WHERE country IN ({listed}) "
+            "GROUP BY country"
+        )
+        # Every chunk is fully active under the all-countries filter.
+        assert restricted.stats.rows_cached == restricted.stats.rows_total
+
+    def test_cache_disabled(self, log_table):
+        store = make_store(log_table, cache_chunk_results=False)
+        query = "SELECT country, COUNT(*) FROM data GROUP BY country"
+        store.execute(query)
+        second = store.execute(query)
+        assert second.stats.rows_cached == 0
+
+    def test_partial_chunks_not_cached(self, log_table):
+        store = make_store(log_table)
+        query = (
+            "SELECT country, COUNT(*) FROM data "
+            "WHERE latency > 200 GROUP BY country"
+        )
+        store.execute(query)
+        second = store.execute(query)
+        # latency isn't a partition field: chunks are PARTIAL, no cache.
+        assert second.stats.rows_cached == 0
+
+
+class TestFactorizeValues:
+    def test_null_first(self):
+        codes, ordered = factorize_values(["b", None, "a", "b"])
+        assert ordered == [None, "a", "b"]
+        assert codes.tolist() == [2, 0, 1, 2]
+
+    def test_numeric_mixed(self):
+        codes, ordered = factorize_values([2, 1.5, 2])
+        assert ordered == [1.5, 2]
+        assert codes.tolist() == [1, 0, 1]

@@ -1,0 +1,208 @@
+"""Columnar aggregator unit tests (the vectorized engine pieces)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AvgState,
+    CountDistinctState,
+    CountStarState,
+    MinState,
+    SumState,
+)
+from repro.core.engine import (
+    ApproxCountDistinctAggregator,
+    AvgAggregator,
+    ChunkData,
+    CountDistinctAggregator,
+    CountValueAggregator,
+    MaxAggregator,
+    MinAggregator,
+    PresenceAggregator,
+    SumAggregator,
+    aggregator_states,
+)
+from repro.storage.dictionary import build_dictionary
+
+
+def _chunk(group_ids, mask=None):
+    return ChunkData(
+        group_ids=np.asarray(group_ids, dtype=np.int64),
+        mask=None if mask is None else np.asarray(mask, dtype=bool),
+    )
+
+
+def _apply(aggregator, data, arg_ids=None):
+    arg = None if arg_ids is None else np.asarray(arg_ids, dtype=np.int64)
+    aggregator.apply(aggregator.chunk_partial(data, arg))
+
+
+class TestPresence:
+    def test_counts_rows_per_group(self):
+        agg = PresenceAggregator(3)
+        _apply(agg, _chunk([0, 1, 1, 2, 2, 2]))
+        assert agg.counts.tolist() == [1, 2, 3]
+
+    def test_mask_applies(self):
+        agg = PresenceAggregator(2)
+        _apply(agg, _chunk([0, 0, 1, 1], mask=[True, False, True, True]))
+        assert agg.counts.tolist() == [1, 2]
+
+    def test_accumulates_across_chunks(self):
+        agg = PresenceAggregator(2)
+        _apply(agg, _chunk([0, 1]))
+        _apply(agg, _chunk([1, 1]))
+        assert agg.counts.tolist() == [1, 3]
+
+    def test_results_only_present(self):
+        agg = PresenceAggregator(3)
+        _apply(agg, _chunk([0, 2]))
+        present = agg.counts > 0
+        assert agg.results(present) == [1, 1]
+
+
+class TestCountValue:
+    def test_nulls_excluded_via_gid_zero(self):
+        agg = CountValueAggregator(2, arg_has_null=True)
+        # arg gid 0 means NULL for a has_null dictionary.
+        _apply(agg, _chunk([0, 0, 1, 1]), arg_ids=[0, 3, 0, 5])
+        assert agg.counts.tolist() == [1, 1]
+
+    def test_without_nulls_counts_all(self):
+        agg = CountValueAggregator(1, arg_has_null=False)
+        _apply(agg, _chunk([0, 0, 0]), arg_ids=[0, 1, 2])
+        assert agg.counts.tolist() == [3]
+
+
+class TestSumAvg:
+    def test_sum_uses_dictionary_values(self):
+        values = np.array([10.0, 20.0, 30.0])
+        agg = SumAggregator(2, values, arg_has_null=False)
+        _apply(agg, _chunk([0, 0, 1]), arg_ids=[0, 2, 1])
+        assert agg.results(np.array([True, True])) == [40.0, 20.0]
+
+    def test_sum_null_group_is_none(self):
+        values = np.array([np.nan, 5.0])  # gid 0 = NULL
+        agg = SumAggregator(2, values, arg_has_null=True)
+        _apply(agg, _chunk([0, 1]), arg_ids=[0, 1])
+        assert agg.results(np.array([True, True])) == [None, 5.0]
+
+    def test_avg(self):
+        values = np.array([2.0, 4.0])
+        agg = AvgAggregator(1, values, arg_has_null=False)
+        _apply(agg, _chunk([0, 0]), arg_ids=[0, 1])
+        assert agg.results(np.array([True])) == [3.0]
+
+
+class TestMinMax:
+    def test_min_max_over_ranks(self):
+        dictionary = build_dictionary(["apple", "mango", "zebra"])
+        low = MinAggregator(2, dictionary, arg_has_null=False)
+        high = MaxAggregator(2, dictionary, arg_has_null=False)
+        data = _chunk([0, 0, 1])
+        for agg in (low, high):
+            _apply(agg, data, arg_ids=[2, 0, 1])
+        present = np.array([True, True])
+        assert low.results(present) == ["apple", "mango"]
+        assert high.results(present) == ["zebra", "mango"]
+
+    def test_empty_group_is_none(self):
+        dictionary = build_dictionary([None, "x"])
+        agg = MinAggregator(2, dictionary, arg_has_null=True)
+        # All arg values NULL for group 0.
+        _apply(agg, _chunk([0, 1]), arg_ids=[0, 1])
+        assert agg.results(np.array([True, True])) == [None, "x"]
+
+    def test_min_merges_across_chunks(self):
+        dictionary = build_dictionary([1, 5, 9])
+        agg = MinAggregator(1, dictionary, arg_has_null=False)
+        _apply(agg, _chunk([0]), arg_ids=[2])
+        _apply(agg, _chunk([0]), arg_ids=[1])
+        assert agg.results(np.array([True])) == [5]
+
+
+class TestCountDistinct:
+    def test_dedup_across_chunks(self):
+        dictionary = build_dictionary(["a", "b", "c"])
+        agg = CountDistinctAggregator(1, dictionary, arg_has_null=False)
+        _apply(agg, _chunk([0, 0]), arg_ids=[0, 1])
+        _apply(agg, _chunk([0, 0]), arg_ids=[1, 2])
+        assert agg.results(np.array([True])) == [3]
+
+    def test_per_group_sets(self):
+        dictionary = build_dictionary(["a", "b"])
+        agg = CountDistinctAggregator(2, dictionary, arg_has_null=False)
+        _apply(agg, _chunk([0, 0, 1]), arg_ids=[0, 0, 1])
+        assert agg.results(np.array([True, True])) == [1, 1]
+
+
+class TestApprox:
+    def test_small_cardinality_exact(self):
+        hashes = np.linspace(0.01, 0.99, 50)
+        agg = ApproxCountDistinctAggregator(1, hashes, False, m=64)
+        _apply(agg, _chunk([0] * 50), arg_ids=list(range(50)))
+        assert agg.results(np.array([True])) == [50]
+
+    def test_group_without_rows_is_zero(self):
+        hashes = np.array([0.5])
+        agg = ApproxCountDistinctAggregator(2, hashes, False, m=8)
+        _apply(agg, _chunk([1]), arg_ids=[0])
+        assert agg.results(np.array([True, True])) == [0, 1]
+
+
+class TestStateExport:
+    """aggregator_states must mirror .results() through AggStates."""
+
+    def test_presence_export(self):
+        agg = PresenceAggregator(2)
+        _apply(agg, _chunk([0, 1, 1]))
+        states = aggregator_states(agg, np.array([True, True]))
+        assert [type(s) for s in states] == [CountStarState, CountStarState]
+        assert [s.result() for s in states] == [1, 2]
+
+    def test_sum_export(self):
+        values = np.array([1.0, 2.0])
+        agg = SumAggregator(1, values, arg_has_null=False)
+        _apply(agg, _chunk([0, 0]), arg_ids=[0, 1])
+        (state,) = aggregator_states(agg, np.array([True]))
+        assert isinstance(state, SumState)
+        assert state.result() == 3.0
+
+    def test_avg_export(self):
+        values = np.array([2.0, 6.0])
+        agg = AvgAggregator(1, values, arg_has_null=False)
+        _apply(agg, _chunk([0, 0]), arg_ids=[0, 1])
+        (state,) = aggregator_states(agg, np.array([True]))
+        assert isinstance(state, AvgState)
+        assert state.result() == 4.0
+
+    def test_min_export(self):
+        dictionary = build_dictionary(["p", "q"])
+        agg = MinAggregator(1, dictionary, arg_has_null=False)
+        _apply(agg, _chunk([0]), arg_ids=[1])
+        (state,) = aggregator_states(agg, np.array([True]))
+        assert isinstance(state, MinState)
+        assert state.result() == "q"
+
+    def test_distinct_export_carries_values(self):
+        dictionary = build_dictionary(["a", "b"])
+        agg = CountDistinctAggregator(1, dictionary, arg_has_null=False)
+        _apply(agg, _chunk([0, 0]), arg_ids=[0, 1])
+        (state,) = aggregator_states(agg, np.array([True]))
+        assert isinstance(state, CountDistinctState)
+        assert state.values == {"a", "b"}
+
+    def test_exported_states_merge(self):
+        """Merging two shards' exported states == one combined shard."""
+        values = np.array([1.0, 10.0])
+        shard_a = SumAggregator(1, values, arg_has_null=False)
+        shard_b = SumAggregator(1, values, arg_has_null=False)
+        combined = SumAggregator(1, values, arg_has_null=False)
+        _apply(shard_a, _chunk([0]), arg_ids=[0])
+        _apply(shard_b, _chunk([0]), arg_ids=[1])
+        _apply(combined, _chunk([0, 0]), arg_ids=[0, 1])
+        (a,) = aggregator_states(shard_a, np.array([True]))
+        (b,) = aggregator_states(shard_b, np.array([True]))
+        a.merge(b)
+        (expected,) = aggregator_states(combined, np.array([True]))
+        assert a.result() == expected.result()

@@ -1,0 +1,124 @@
+"""Reference expression evaluator tests (three-valued logic)."""
+
+import pytest
+
+from repro.core.expr_eval import evaluate, truthy
+from repro.errors import ExecutionError, UnsupportedQueryError
+from repro.sql.ast_nodes import Aggregate, Star
+from repro.sql.parser import parse_query
+
+
+def _eval(clause: str, **row):
+    expr = parse_query(f"SELECT x FROM t WHERE {clause}").where
+    return evaluate(expr, lambda name: row.get(name))
+
+
+def _eval_select(expr_sql: str, **row):
+    expr = parse_query(f"SELECT {expr_sql} FROM t").select[0].expr
+    return evaluate(expr, lambda name: row.get(name))
+
+
+class TestComparisons:
+    def test_basics(self):
+        assert _eval("a = 1", a=1) is True
+        assert _eval("a != 1", a=2) is True
+        assert _eval("a < 2", a=1) is True
+        assert _eval("a >= 2", a=1) is False
+
+    def test_string_comparison(self):
+        assert _eval("s < 'b'", s="a") is True
+
+    def test_null_comparisons_are_null(self):
+        assert _eval("a = 1", a=None) is None
+        assert _eval("a < 1", a=None) is None
+
+    def test_cross_type_comparison_raises(self):
+        with pytest.raises(ExecutionError):
+            _eval("a = 'x'", a=1)
+
+
+class TestLogic:
+    def test_kleene_and(self):
+        assert _eval("a = 1 AND b = 1", a=1, b=1) is True
+        assert _eval("a = 1 AND b = 1", a=2, b=None) is False
+        assert _eval("a = 1 AND b = 1", a=1, b=None) is None
+
+    def test_kleene_or(self):
+        assert _eval("a = 1 OR b = 1", a=2, b=None) is None
+        assert _eval("a = 1 OR b = 1", a=1, b=None) is True
+
+    def test_not(self):
+        assert _eval("NOT a = 1", a=2) is True
+        assert _eval("NOT a = 1", a=None) is None
+
+    def test_truthy_collapses_null(self):
+        assert truthy(None) is False
+        assert truthy(True) is True
+        assert truthy(0) is False
+        assert truthy(2) is True
+
+    def test_truthy_string_raises(self):
+        with pytest.raises(ExecutionError):
+            truthy("yes")
+
+
+class TestInList:
+    def test_membership(self):
+        assert _eval("a IN (1, 2)", a=2) is True
+        assert _eval("a IN (1, 2)", a=3) is False
+        assert _eval("a NOT IN (1, 2)", a=3) is True
+
+    def test_null_operand_is_null(self):
+        assert _eval("a IN (1, 2)", a=None) is None
+
+    def test_is_null_rewrite_matches_null(self):
+        assert _eval("a IS NULL", a=None) is True
+        assert _eval("a IS NULL", a=1) is False
+        assert _eval("a IS NOT NULL", a=1) is True
+        assert _eval("a IS NOT NULL", a=None) is False
+
+    def test_type_strictness(self):
+        # int 1 should not match string '1'.
+        assert _eval("a IN ('1')", a=1) is False
+
+    def test_int_matches_float(self):
+        assert _eval("a IN (1)", a=1.0) is True
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert _eval_select("a + b * 2", a=1, b=3) == 7
+        assert _eval_select("-a", a=5) == -5
+        assert _eval_select("a / 4", a=10) == 2.5
+
+    def test_null_propagates(self):
+        assert _eval_select("a + 1", a=None) is None
+
+    def test_division_by_zero_is_null(self):
+        assert _eval_select("a / 0", a=1) is None
+
+    def test_string_arithmetic_raises(self):
+        with pytest.raises(ExecutionError):
+            _eval_select("a + 1", a="x")
+
+    def test_unary_minus_on_string_raises(self):
+        with pytest.raises(ExecutionError):
+            _eval_select("-a", a="x")
+
+
+class TestFunctions:
+    def test_nested_calls(self):
+        assert _eval_select("upper(substr(s, 0, 2))", s="hello") == "HE"
+
+    def test_function_null_propagation(self):
+        assert _eval_select("date(ts)", ts=None) is None
+
+
+class TestErrors:
+    def test_star_outside_count(self):
+        with pytest.raises(UnsupportedQueryError):
+            evaluate(Star(), lambda name: None)
+
+    def test_aggregate_in_scalar_context(self):
+        with pytest.raises(UnsupportedQueryError):
+            evaluate(Aggregate("COUNT", Star()), lambda name: None)

@@ -1,0 +1,102 @@
+"""Scalar function tests."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql.functions import apply_scalar
+
+# 2011-10-01 00:00:00 UTC
+_TS = 1317427200
+
+
+class TestTimeFunctions:
+    def test_date(self):
+        assert apply_scalar("date", [_TS]) == "2011-10-01"
+
+    def test_date_end_of_year(self):
+        assert apply_scalar("date", [_TS + 91 * 86400]) == "2011-12-31"
+
+    def test_year_month_day_hour(self):
+        ts = _TS + 5 * 86400 + 7 * 3600
+        assert apply_scalar("year", [ts]) == 2011
+        assert apply_scalar("month", [ts]) == 10
+        assert apply_scalar("day", [ts]) == 6
+        assert apply_scalar("hour", [ts]) == 7
+
+    def test_epoch(self):
+        assert apply_scalar("date", [0]) == "1970-01-01"
+
+
+class TestStringFunctions:
+    def test_case(self):
+        assert apply_scalar("lower", ["AbC"]) == "abc"
+        assert apply_scalar("upper", ["AbC"]) == "ABC"
+
+    def test_length(self):
+        assert apply_scalar("length", ["héllo"]) == 5
+
+    def test_contains(self):
+        assert apply_scalar("contains", ["web search cat", "cat"]) == 1
+        assert apply_scalar("contains", ["web search", "cat"]) == 0
+
+    def test_starts_with(self):
+        assert apply_scalar("starts_with", ["/logs/x", "/logs"]) == 1
+
+    def test_substr(self):
+        assert apply_scalar("substr", ["abcdef", 1, 3]) == "bcd"
+        assert apply_scalar("substr", ["abcdef", 4]) == "ef"
+
+    def test_concat(self):
+        assert apply_scalar("concat", ["a", "b", "c"]) == "abc"
+
+
+class TestNumericFunctions:
+    def test_abs_round_floor_ceil(self):
+        assert apply_scalar("abs", [-3]) == 3
+        assert apply_scalar("round", [2.567, 1]) == 2.6
+        assert apply_scalar("floor", [2.9]) == 2
+        assert apply_scalar("ceil", [2.1]) == 3
+
+    def test_log2(self):
+        assert apply_scalar("log2", [8]) == 3.0
+        with pytest.raises(BindError):
+            apply_scalar("log2", [0])
+
+    def test_log2_bucket(self):
+        # The Figure 5 bucketing: 0 for < 1, then floor(log2)+1.
+        assert apply_scalar("log2_bucket", [0.5]) == 0
+        assert apply_scalar("log2_bucket", [1]) == 1
+        assert apply_scalar("log2_bucket", [2]) == 2
+        assert apply_scalar("log2_bucket", [1023]) == 10
+
+    def test_bucket(self):
+        assert apply_scalar("bucket", [37, 10]) == 3
+        with pytest.raises(BindError):
+            apply_scalar("bucket", [5, 0])
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize(
+        "name,args",
+        [
+            ("date", [None]),
+            ("lower", [None]),
+            ("contains", [None, "x"]),
+            ("contains", ["x", None]),
+            ("bucket", [None, 10]),
+        ],
+    )
+    def test_null_in_null_out(self, name, args):
+        assert apply_scalar(name, args) is None
+
+
+class TestArgValidation:
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            apply_scalar("nope", [1])
+
+    def test_wrong_arity(self):
+        with pytest.raises(BindError):
+            apply_scalar("date", [1, 2])
+        with pytest.raises(BindError):
+            apply_scalar("contains", ["only-one"])

@@ -1,0 +1,104 @@
+"""KMV sketch tests — Section 5 "Count Distinct"."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.sketches.hashing import hash_to_unit, hash_value
+from repro.sketches.kmv import KmvSketch
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_value("abc") == hash_value("abc")
+
+    def test_type_tagged(self):
+        assert hash_value(1) != hash_value("1")
+
+    def test_integral_float_matches_int(self):
+        # So 3 and 3.0 count as one distinct value across backends.
+        assert hash_value(3) == hash_value(3.0)
+
+    def test_unit_range(self):
+        for value in ("a", 1, 2.5, None):
+            assert 0.0 <= hash_to_unit(value) < 1.0
+
+
+class TestKmvSketch:
+    def test_exact_below_m(self):
+        sketch = KmvSketch(m=100)
+        for i in range(50):
+            sketch.add(f"v{i}")
+        assert sketch.estimate() == 50
+
+    def test_duplicates_ignored(self):
+        sketch = KmvSketch(m=100)
+        for __ in range(10):
+            for i in range(30):
+                sketch.add(i)
+        assert sketch.estimate() == 30
+
+    def test_estimate_accuracy_at_scale(self):
+        n = 20_000
+        sketch = KmvSketch(m=1024)
+        for i in range(n):
+            sketch.add(f"value-{i}")
+        # Relative error ~ 1/sqrt(m) ≈ 3%; allow 4 sigma.
+        assert abs(sketch.estimate() - n) / n < 0.13
+
+    def test_larger_m_reduces_error(self):
+        n = 30_000
+        errors = {}
+        for m in (64, 4096):
+            sketch = KmvSketch(m=m)
+            for i in range(n):
+                sketch.add(i)
+            errors[m] = abs(sketch.estimate() - n) / n
+        assert errors[4096] < errors[64]
+
+    def test_merge_equals_union(self):
+        a = KmvSketch(m=256)
+        b = KmvSketch(m=256)
+        union = KmvSketch(m=256)
+        for i in range(3000):
+            target = a if i % 2 else b
+            target.add(i)
+            union.add(i)
+        a.merge(b)
+        assert a.estimate() == union.estimate()
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ExecutionError):
+            KmvSketch(8).merge(KmvSketch(16))
+
+    def test_invalid_m(self):
+        with pytest.raises(ExecutionError):
+            KmvSketch(0)
+
+    def test_add_hash_array_matches_scalar_adds(self):
+        values = [f"x{i}" for i in range(5000)]
+        hashes = np.array([hash_to_unit(v) for v in values])
+        vector = KmvSketch(m=128)
+        vector.add_hash_array(hashes)
+        scalar = KmvSketch(m=128)
+        for value in values:
+            scalar.add(value)
+        assert vector.estimate() == scalar.estimate()
+        assert vector.threshold == scalar.threshold
+
+    def test_threshold_monotone_nonincreasing(self):
+        sketch = KmvSketch(m=16)
+        last = sketch.threshold
+        for i in range(500):
+            sketch.add(i)
+            assert sketch.threshold <= last
+            last = sketch.threshold
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(), max_size=200))
+    def test_exact_when_not_full_property(self, values):
+        sketch = KmvSketch(m=1000)
+        for value in values:
+            sketch.add(value)
+        assert sketch.estimate() == len(values)

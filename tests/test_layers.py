@@ -1,0 +1,79 @@
+"""Hybrid two-layer store tests — Section 3's uncompressed/compressed layers."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.layers import HybridLayerStore
+
+
+def test_hot_hit():
+    store = HybridLayerStore(1000, 1000)
+    store.put("k", b"payload")
+    assert store.get("k") == b"payload"
+    assert store.stats.hot_hits == 1
+
+
+def test_overflow_demotes_to_cold_compressed():
+    store = HybridLayerStore(100, 10_000)
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)  # "a" demoted
+    assert not store.contains_hot("a")
+    assert store.contains_cold("a")
+    # Cold copy is compressed: a run of 80 bytes shrinks a lot.
+    assert store.cold_used_bytes < 40
+
+
+def test_cold_hit_decompresses_and_promotes():
+    store = HybridLayerStore(100, 10_000)
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)
+    data = store.get("a")
+    assert data == b"A" * 80
+    assert store.stats.cold_hits == 1
+    assert store.contains_hot("a")
+    assert not store.contains_cold("a")
+
+
+def test_loader_fallback_counts_disk_bytes():
+    blobs = {"x": b"x" * 50}
+    store = HybridLayerStore(1000, 1000, loader=blobs.__getitem__)
+    assert store.get("x") == b"x" * 50
+    assert store.stats.loads == 1
+    assert store.stats.bytes_loaded == 50
+    # Second read is a hot hit.
+    store.get("x")
+    assert store.stats.hot_hits == 1
+
+
+def test_missing_without_loader_raises():
+    store = HybridLayerStore(100, 100)
+    with pytest.raises(StorageError):
+        store.get("nope")
+
+
+def test_cold_overflow_drops():
+    # Cold layer keeps at least one entry; a second oversized demotion
+    # forces a drop.
+    store = HybridLayerStore(100, 60)
+    import os
+
+    for key in ("a", "b", "c"):
+        store.put(key, os.urandom(90))
+    assert store.stats.demotions >= 2
+    assert store.stats.drops >= 1
+
+
+def test_in_memory_rate():
+    store = HybridLayerStore(1000, 1000, loader=lambda k: b"L")
+    store.put("a", b"data")
+    store.get("a")
+    store.get("new")  # loader
+    assert store.stats.in_memory_rate == pytest.approx(0.5)
+
+
+def test_put_replaces_cold_copy():
+    store = HybridLayerStore(100, 1000)
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)  # a -> cold
+    store.put("a", b"fresh")  # back to hot; cold copy must not resurface
+    assert store.get("a") == b"fresh"

@@ -1,0 +1,58 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Table_Name foo_1")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "Table_Name"
+        assert tokens[1].value == "foo_1"
+
+    def test_ends_with_end_token(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+
+    def test_integers_and_floats(self):
+        tokens = tokenize("42 3.14 .5 1e3 2.5E-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 0.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_strings_with_escape(self):
+        tokens = tokenize("'hello' 'it''s'")
+        assert tokens[0].value == "hello"
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("a != b <= c >= d")
+        symbols = [t.value for t in tokens if t.kind is TokenKind.SYMBOL]
+        assert symbols == ["!=", "<=", ">="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("a @ b")
+        assert exc.value.position == 2
+
+    def test_whitespace_and_newlines(self):
+        tokens = tokenize("a\n\t b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_is_helpers(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+        assert not token.is_symbol("(")

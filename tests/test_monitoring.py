@@ -1,0 +1,68 @@
+"""QueryLogCollector tests."""
+
+import pytest
+
+from repro.monitoring import QueryLogCollector, percentile
+from repro.workload.queries import paper_queries
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.90) == 9.0
+        assert percentile(values, 0.99) == 10.0
+
+
+class TestCollector:
+    def test_accumulates_fractions(self, log_store):
+        collector = QueryLogCollector()
+        queries = [
+            "SELECT COUNT(*) FROM data WHERE country = 'FI'",
+            "SELECT COUNT(*) FROM data WHERE country = 'US'",
+            paper_queries()[0],
+        ]
+        for sql in queries:
+            collector.record(log_store.execute(sql))
+        assert collector.n_queries == 3
+        total = (
+            collector.skip_fraction
+            + collector.cache_fraction
+            + collector.scan_fraction
+        )
+        assert total == pytest.approx(1.0)
+        assert collector.skip_fraction > 0
+
+    def test_in_memory_share(self, log_store):
+        collector = QueryLogCollector()
+        result = log_store.execute(paper_queries()[0])
+        collector.record(result, disk_bytes=0)
+        collector.record(result, disk_bytes=1000)
+        assert collector.in_memory_share == pytest.approx(0.5)
+        assert collector.disk_bytes == 1000
+
+    def test_latency_override(self, log_store):
+        collector = QueryLogCollector()
+        result = log_store.execute(paper_queries()[0])
+        collector.record(result, latency_seconds=2.0)
+        assert collector.latency_percentiles()["mean"] == pytest.approx(2.0)
+
+    def test_report_contains_key_lines(self, log_store):
+        collector = QueryLogCollector()
+        collector.record(log_store.execute(paper_queries()[0]))
+        text = collector.report()
+        assert "skipped" in text
+        assert "latency ms" in text
+        assert "in-memory queries" in text
+
+    def test_empty_collector_report(self):
+        collector = QueryLogCollector()
+        assert collector.skip_fraction == 0.0
+        assert collector.in_memory_share == 0.0
+        assert "queries: 0" in collector.report()

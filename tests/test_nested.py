@@ -1,0 +1,172 @@
+"""Nested relational model tests: repeated fields, flattening, record-io."""
+
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import DataType
+from repro.errors import TableError
+from repro.nested import (
+    RECORD_ID_FIELD,
+    NestedColumn,
+    NestedTable,
+    read_nested_recordio,
+    write_nested_recordio,
+)
+
+
+@pytest.fixture()
+def search_logs() -> NestedTable:
+    """Web-search records: scalar country, repeated result clicks."""
+    return NestedTable(
+        [
+            NestedColumn("country", ["DE", "US", "DE", "FR"]),
+            NestedColumn("query", ["cat", "dog", "auto", "cat"]),
+            NestedColumn(
+                "clicked_rank",
+                [[1, 3], [2], [], [1, 2, 5]],
+                repeated=True,
+            ),
+        ]
+    )
+
+
+class TestNestedTable:
+    def test_shape(self, search_logs):
+        assert search_logs.n_records == 4
+        assert search_logs.repeated_fields == ["clicked_rank"]
+
+    def test_record_access(self, search_logs):
+        assert search_logs.record(0) == {
+            "country": "DE",
+            "query": "cat",
+            "clicked_rank": [1, 3],
+        }
+        with pytest.raises(TableError):
+            search_logs.record(9)
+
+    def test_repeated_requires_lists(self):
+        with pytest.raises(TableError):
+            NestedColumn("x", [1, 2], repeated=True)
+
+    def test_repeated_type_inferred_from_elements(self, search_logs):
+        assert search_logs.column("clicked_rank").dtype is DataType.INT
+
+    def test_ragged_rejected(self):
+        with pytest.raises(TableError):
+            NestedTable(
+                [NestedColumn("a", [1]), NestedColumn("b", [1, 2])]
+            )
+
+
+class TestFlatten:
+    def test_one_row_per_element(self, search_logs):
+        flat = search_logs.flatten()
+        # 2 + 1 + 1(empty->NULL) + 3 = 7 rows
+        assert flat.n_rows == 7
+        assert flat.field_names == [
+            RECORD_ID_FIELD, "country", "query", "clicked_rank",
+        ]
+
+    def test_scalars_duplicated(self, search_logs):
+        flat = search_logs.flatten()
+        rows = list(flat.iter_rows())
+        assert rows[0] == (0, "DE", "cat", 1)
+        assert rows[1] == (0, "DE", "cat", 3)
+
+    def test_empty_list_keeps_record_with_null(self, search_logs):
+        flat = search_logs.flatten()
+        null_rows = [r for r in flat.iter_rows() if r[3] is None]
+        assert len(null_rows) == 1
+        assert null_rows[0][1] == "DE"  # record 2
+
+    def test_no_repeated_fields_identity_plus_record_id(self):
+        table = NestedTable(
+            [NestedColumn("a", [1, 2]), NestedColumn("b", ["x", "y"])]
+        )
+        flat = table.flatten()
+        assert flat.n_rows == 2
+        assert flat.column(RECORD_ID_FIELD).values == [0, 1]
+
+    def test_two_repeated_fields_need_choice(self):
+        table = NestedTable(
+            [
+                NestedColumn("a", [[1]], repeated=True),
+                NestedColumn("b", [["x"]], repeated=True),
+            ]
+        )
+        with pytest.raises(TableError):
+            table.flatten()
+        with pytest.raises(TableError):
+            table.flatten("a")  # b is still repeated
+
+    def test_flatten_scalar_field_rejected(self, search_logs):
+        with pytest.raises(TableError):
+            search_logs.flatten("country")
+
+
+class TestQueryingFlattened:
+    def test_value_vs_record_counts(self, search_logs):
+        """COUNT(*) counts values; COUNT(DISTINCT __record_id) records."""
+        store = DataStore.from_table(
+            search_logs.flatten(), DataStoreOptions()
+        )
+        result = store.execute(
+            "SELECT COUNT(clicked_rank), COUNT(DISTINCT __record_id) "
+            "FROM data"
+        )
+        assert result.rows() == [(6, 4)]  # 6 clicks over 4 records
+
+    def test_group_by_scalar_over_elements(self, search_logs):
+        store = DataStore.from_table(
+            search_logs.flatten(), DataStoreOptions()
+        )
+        result = store.execute(
+            "SELECT country, COUNT(clicked_rank) as clicks, "
+            "COUNT(DISTINCT __record_id) as searches FROM data "
+            "GROUP BY country ORDER BY country ASC"
+        )
+        assert result.rows() == [("DE", 2, 2), ("FR", 3, 1), ("US", 1, 1)]
+
+    def test_restriction_on_repeated_element(self, search_logs):
+        store = DataStore.from_table(
+            search_logs.flatten(), DataStoreOptions()
+        )
+        # Records with at least one click at rank 1.
+        result = store.execute(
+            "SELECT COUNT(DISTINCT __record_id) FROM data "
+            "WHERE clicked_rank = 1"
+        )
+        assert result.rows() == [(2,)]
+
+
+class TestNestedRecordIo:
+    def test_round_trip(self, search_logs, tmp_path):
+        path = str(tmp_path / "nested.rio")
+        size = write_nested_recordio(search_logs, path)
+        assert size > 0
+        loaded = read_nested_recordio(
+            path,
+            ["country", "query", "clicked_rank"],
+            [DataType.STRING, DataType.STRING, DataType.INT],
+            [False, False, True],
+        )
+        assert loaded.n_records == search_logs.n_records
+        for index in range(search_logs.n_records):
+            assert loaded.record(index) == search_logs.record(index)
+
+    def test_flatten_after_round_trip_matches(self, search_logs, tmp_path):
+        path = str(tmp_path / "nested.rio")
+        write_nested_recordio(search_logs, path)
+        loaded = read_nested_recordio(
+            path,
+            ["country", "query", "clicked_rank"],
+            [DataType.STRING, DataType.STRING, DataType.INT],
+            [False, False, True],
+        )
+        assert loaded.flatten() == search_logs.flatten()
+
+    def test_schema_length_mismatch(self, tmp_path):
+        path = str(tmp_path / "x.rio")
+        open(path, "wb").write(b"")
+        with pytest.raises(TableError):
+            read_nested_recordio(path, ["a"], [DataType.INT], [False, True])

@@ -1,0 +1,103 @@
+"""GroupPlan / alias-resolution tests."""
+
+import pytest
+
+from repro.core.plan import (
+    is_aggregation_query,
+    plan_group_query,
+    resolve_group_aliases,
+)
+from repro.errors import UnsupportedQueryError
+from repro.sql.ast_nodes import FieldRef, FuncCall
+from repro.sql.parser import parse_query
+
+
+class TestIsAggregationQuery:
+    def test_plain_projection(self):
+        assert not is_aggregation_query(parse_query("SELECT a FROM t"))
+
+    def test_group_by(self):
+        assert is_aggregation_query(
+            parse_query("SELECT a FROM t GROUP BY a")
+        )
+
+    def test_bare_aggregate(self):
+        assert is_aggregation_query(parse_query("SELECT COUNT(*) FROM t"))
+
+    def test_aggregate_inside_expression(self):
+        assert is_aggregation_query(
+            parse_query("SELECT SUM(x) / 2 FROM t")
+        )
+
+
+class TestPlanGroupQuery:
+    def test_group_expr_becomes_placeholder(self):
+        plan = plan_group_query(
+            parse_query("SELECT a, COUNT(*) FROM t GROUP BY a")
+        )
+        assert plan.items[0][1] == FieldRef("__group_0")
+        assert plan.items[1][1] == FieldRef("__agg_0")
+        assert len(plan.aggregates) == 1
+
+    def test_duplicate_aggregates_deduped(self):
+        plan = plan_group_query(
+            parse_query("SELECT COUNT(*), COUNT(*) + 1 as c1 FROM t")
+        )
+        assert len(plan.aggregates) == 1
+
+    def test_distinct_aggregates_kept_separate(self):
+        plan = plan_group_query(
+            parse_query("SELECT SUM(x), SUM(y) FROM t")
+        )
+        assert len(plan.aggregates) == 2
+
+    def test_expression_around_aggregate(self):
+        plan = plan_group_query(parse_query("SELECT SUM(x) / COUNT(*) FROM t"))
+        (name, expr), = plan.items
+        refs = {n.name for n in _walk_fieldrefs(expr)}
+        assert refs == {"__agg_0", "__agg_1"}
+
+    def test_expression_combining_group_and_aggregate(self):
+        plan = plan_group_query(
+            parse_query(
+                "SELECT concat(a, 'x') as k, COUNT(*) FROM t GROUP BY a"
+            )
+        )
+        refs = {n.name for n in _walk_fieldrefs(plan.items[0][1])}
+        assert refs == {"__group_0"}
+
+    def test_ungrouped_field_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_group_query(parse_query("SELECT a, COUNT(*) FROM t"))
+
+    def test_group_by_full_expression_matches_structurally(self):
+        plan = plan_group_query(
+            parse_query(
+                "SELECT date(ts), COUNT(*) FROM t GROUP BY date(ts)"
+            )
+        )
+        assert plan.items[0][1] == FieldRef("__group_0")
+
+
+class TestResolveGroupAliases:
+    def test_alias_replaced(self):
+        query = resolve_group_aliases(
+            parse_query("SELECT date(ts) as d, COUNT(*) FROM t GROUP BY d")
+        )
+        assert query.group_by == (FuncCall("date", (FieldRef("ts"),)),)
+
+    def test_plain_column_untouched(self):
+        query = resolve_group_aliases(
+            parse_query("SELECT a as b, COUNT(*) FROM t GROUP BY a")
+        )
+        assert query.group_by == (FieldRef("a"),)
+
+    def test_no_group_by_is_identity(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        assert resolve_group_aliases(query) is query
+
+
+def _walk_fieldrefs(expr):
+    from repro.sql.ast_nodes import walk
+
+    return [n for n in walk(expr) if isinstance(n, FieldRef)]

@@ -1,0 +1,175 @@
+"""Restriction analysis tests: skipping soundness and Kleene masks."""
+
+import numpy as np
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.restriction import ChunkStatus, compile_restriction
+from repro.core.table import Table
+from repro.sql.parser import parse_query
+
+
+def _store(values, extra=None, max_chunk_rows=4):
+    data = {"v": values}
+    if extra is not None:
+        data["w"] = extra
+    table = Table.from_columns(data)
+    return DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=("v",),
+            max_chunk_rows=max_chunk_rows,
+            reorder_rows=True,
+        ),
+    )
+
+
+def _compile(store, where_sql: str):
+    where = parse_query(f"SELECT v FROM data WHERE {where_sql}").where
+    return compile_restriction(
+        where,
+        store.ensure_field,
+        lambda name: store.field(name).dictionary,
+        lambda name: store.field(name).chunks,
+        lambda name, index: store.field(name).element_array(index),
+    )
+
+
+def _decide_all(store, where_sql: str):
+    restriction = _compile(store, where_sql)
+    return [restriction.decide(i) for i in range(store.n_chunks)]
+
+
+def _reference_matches(store, where_sql: str):
+    """Ground truth: evaluate the predicate per row via the dictionary."""
+    from repro.core.expr_eval import evaluate, truthy
+
+    where = parse_query(f"SELECT v FROM data WHERE {where_sql}").where
+    matches = []
+    for chunk_index in range(store.n_chunks):
+        field_names = [
+            name for name in store.fields if not store.fields[name].virtual
+        ]
+        columns = {
+            name: store.field(name).value_array()[
+                store.field(name).row_global_ids(chunk_index)
+            ]
+            for name in field_names
+        }
+        n = store.chunk_row_counts[chunk_index]
+        chunk_matches = []
+        for row in range(n):
+            row_env = {name: columns[name][row] for name in field_names}
+            chunk_matches.append(truthy(evaluate(where, row_env.__getitem__)))
+        matches.append(chunk_matches)
+    return matches
+
+
+class TestDecisions:
+    def test_unrestricted_is_full(self):
+        store = _store(["a"] * 10)
+        restriction = compile_restriction(
+            None, store.ensure_field, None, None, None
+        )
+        assert restriction.unrestricted
+        assert restriction.decide(0).status is ChunkStatus.FULL
+
+    def test_in_skips_nonmatching_chunks(self):
+        store = _store(["a"] * 8 + ["b"] * 8 + ["c"] * 8)
+        decisions = _decide_all(store, "v IN ('a')")
+        statuses = [d.status for d in decisions]
+        assert ChunkStatus.SKIP in statuses
+        assert ChunkStatus.FULL in statuses
+        assert ChunkStatus.PARTIAL not in statuses  # chunks are pure
+
+    def test_absent_value_skips_everything(self):
+        store = _store(["a"] * 8 + ["b"] * 8)
+        decisions = _decide_all(store, "v = 'zz'")
+        assert all(d.status is ChunkStatus.SKIP for d in decisions)
+
+    def test_partial_produces_row_mask(self):
+        # Two values in one chunk: restriction on one -> PARTIAL.
+        store = _store(["a", "b"] * 4, max_chunk_rows=100)
+        decisions = _decide_all(store, "v = 'a'")
+        assert decisions[0].status is ChunkStatus.PARTIAL
+        assert decisions[0].row_mask.sum() == 4
+
+    def test_not_in_flips(self):
+        store = _store(["a"] * 8 + ["b"] * 8)
+        decisions = _decide_all(store, "v NOT IN ('a')")
+        by_status = {d.status for d in decisions}
+        assert by_status == {ChunkStatus.SKIP, ChunkStatus.FULL}
+
+    def test_range_skipping_via_ranks(self):
+        store = _store([f"{c}" for c in "aabbccddee" * 4])
+        decisions = _decide_all(store, "v > 'c'")
+        assert any(d.status is ChunkStatus.SKIP for d in decisions)
+        assert any(d.status is not ChunkStatus.SKIP for d in decisions)
+
+    def test_numeric_range(self):
+        store = _store(list(range(40)))
+        decisions = _decide_all(store, "v >= 30")
+        skipped_rows = sum(
+            store.chunk_row_counts[i]
+            for i, d in enumerate(decisions)
+            if d.status is ChunkStatus.SKIP
+        )
+        assert skipped_rows >= 24  # chunks entirely below 30
+
+
+class TestSoundness:
+    """SKIP chunks contain no match; FULL chunks contain only matches."""
+
+    @pytest.mark.parametrize(
+        "where",
+        [
+            "v IN ('a', 'c')",
+            "v = 'b'",
+            "v != 'b'",
+            "NOT v IN ('a')",
+            "v > 'a' AND v <= 'c'",
+            "v = 'a' OR w = 5",
+            "NOT (v = 'a' OR w > 3)",
+            "v IS NOT NULL AND w < 4",
+            "w IN (1, 2) AND NOT v = 'c'",
+        ],
+    )
+    def test_against_row_reference(self, where):
+        import random
+
+        random.seed(13)
+        n = 60
+        values = [random.choice(["a", "b", "c", None]) for __ in range(n)]
+        extras = [random.randrange(6) for __ in range(n)]
+        store = _store(values, extras, max_chunk_rows=7)
+        reference = _reference_matches(store, where)
+        restriction = _compile(store, where)
+        for chunk_index in range(store.n_chunks):
+            decision = restriction.decide(chunk_index)
+            expected = reference[chunk_index]
+            if decision.status is ChunkStatus.SKIP:
+                assert not any(expected)
+            elif decision.status is ChunkStatus.FULL:
+                assert all(expected)
+            else:
+                assert decision.row_mask.tolist() == expected
+
+
+class TestNullSemantics:
+    def test_null_rows_never_match_comparisons(self):
+        store = _store(["a", None, "b", None] * 3, max_chunk_rows=100)
+        decision = _compile(store, "v != 'zz'").decide(0)
+        # NULL rows must be excluded even under !=.
+        assert decision.status is ChunkStatus.PARTIAL
+        assert decision.row_mask.sum() == 6
+
+    def test_not_over_null_excluded(self):
+        store = _store(["a", None] * 4, max_chunk_rows=100)
+        decision = _compile(store, "NOT v = 'zz'").decide(0)
+        # NOT(NULL) is NULL: only the 4 'a' rows match.
+        assert decision.row_mask.sum() == 4
+
+    def test_is_null_matches_only_nulls(self):
+        store = _store(["a", None] * 4, max_chunk_rows=100)
+        decision = _compile(store, "v IS NULL").decide(0)
+        assert decision.row_mask.sum() == 4

@@ -1,0 +1,156 @@
+"""Result post-processing tests: ordering determinism, HAVING, LIMIT."""
+
+import pytest
+
+from repro.core.result import (
+    QueryResult,
+    ScanStats,
+    apply_having,
+    apply_order_limit,
+    build_result_table,
+    finalize,
+    resolve_output_expr,
+)
+from repro.core.table import Table
+from repro.errors import UnsupportedQueryError
+from repro.sql.parser import parse_query
+
+
+def _query(sql: str):
+    return parse_query(sql)
+
+
+class TestResolveOutputExpr:
+    def test_alias_resolves(self):
+        query = _query("SELECT COUNT(*) as c FROM t GROUP BY a ORDER BY c")
+        resolved = resolve_output_expr(query.order_by[0].expr, query.select)
+        assert resolved.sql() == "c"
+
+    def test_structural_match_resolves(self):
+        from repro.sql.ast_nodes import Aggregate, walk
+
+        query = _query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+        resolved = resolve_output_expr(query.having, query.select)
+        # The aggregate becomes a FieldRef to the output column (which
+        # keeps the canonical name "COUNT(*)").
+        assert not any(isinstance(n, Aggregate) for n in walk(resolved))
+
+    def test_unselected_aggregate_rejected(self):
+        query = _query("SELECT a FROM t GROUP BY a HAVING SUM(x) > 1")
+        with pytest.raises(UnsupportedQueryError):
+            resolve_output_expr(query.having, query.select)
+
+
+class TestOrderLimit:
+    def _rows(self):
+        return [
+            {"g": "b", "c": 2},
+            {"g": "a", "c": 2},
+            {"g": "c", "c": 5},
+        ]
+
+    def test_explicit_desc_with_tiebreak(self):
+        query = _query("SELECT g, c FROM t ORDER BY c DESC")
+        ordered = apply_order_limit(self._rows(), query)
+        assert [r["g"] for r in ordered] == ["c", "a", "b"]
+
+    def test_implicit_order_without_order_by(self):
+        query = _query("SELECT g, c FROM t")
+        ordered = apply_order_limit(self._rows(), query)
+        assert [r["g"] for r in ordered] == ["a", "b", "c"]
+
+    def test_limit(self):
+        query = _query("SELECT g, c FROM t ORDER BY c DESC LIMIT 1")
+        ordered = apply_order_limit(self._rows(), query)
+        assert len(ordered) == 1
+        assert ordered[0]["g"] == "c"
+
+    def test_nulls_first_ascending(self):
+        rows = [{"g": "x"}, {"g": None}, {"g": "a"}]
+        query = _query("SELECT g FROM t ORDER BY g ASC")
+        ordered = apply_order_limit(rows, query)
+        assert [r["g"] for r in ordered] == [None, "a", "x"]
+
+    def test_nulls_last_descending(self):
+        rows = [{"g": "x"}, {"g": None}, {"g": "a"}]
+        query = _query("SELECT g FROM t ORDER BY g DESC")
+        ordered = apply_order_limit(rows, query)
+        assert [r["g"] for r in ordered] == ["x", "a", None]
+
+    def test_order_by_expression_over_alias(self):
+        rows = [{"c": 1}, {"c": 3}, {"c": 2}]
+        query = _query("SELECT COUNT(*) as c FROM t ORDER BY c * -1 ASC")
+        ordered = apply_order_limit(rows, query)
+        assert [r["c"] for r in ordered] == [3, 2, 1]
+
+
+class TestHaving:
+    def test_filters(self):
+        rows = [{"g": "a", "c": 1}, {"g": "b", "c": 5}]
+        query = _query("SELECT g, COUNT(*) as c FROM t GROUP BY g HAVING c > 2")
+        assert apply_having(rows, query) == [{"g": "b", "c": 5}]
+
+    def test_no_having_is_noop(self):
+        rows = [{"g": "a"}]
+        query = _query("SELECT g FROM t GROUP BY g")
+        assert apply_having(rows, query) == rows
+
+
+class TestBuildTable:
+    def test_columns_in_select_order(self):
+        rows = [{"b": 1, "a": "x"}]
+        query = _query("SELECT a, b FROM t")
+        table = build_result_table(rows, query)
+        assert table.field_names == ["a", "b"]
+
+    def test_duplicate_output_names_rejected(self):
+        query = _query("SELECT a, a FROM t")
+        with pytest.raises(UnsupportedQueryError):
+            build_result_table([], query)
+
+    def test_empty_result(self):
+        query = _query("SELECT a FROM t")
+        table = build_result_table([], query)
+        assert table.n_rows == 0
+
+
+class TestFinalize:
+    def test_pipeline(self):
+        rows = [
+            {"g": "a", "c": 10},
+            {"g": "b", "c": 1},
+            {"g": "c", "c": 7},
+        ]
+        query = _query(
+            "SELECT g, COUNT(*) as c FROM t GROUP BY g "
+            "HAVING c > 2 ORDER BY c DESC LIMIT 1"
+        )
+        table = finalize(rows, query)
+        assert list(table.iter_rows()) == [("a", 10)]
+
+
+class TestScanStatsMerge:
+    def test_merge_adds(self):
+        a = ScanStats(rows_total=10, rows_scanned=4, fields_accessed=("x",))
+        b = ScanStats(rows_total=5, rows_scanned=1, fields_accessed=("y",))
+        merged = a.merge(b)
+        assert merged.rows_total == 15
+        assert merged.rows_scanned == 5
+        assert merged.fields_accessed == ("x", "y")
+
+    def test_fractions(self):
+        stats = ScanStats(rows_total=100, rows_skipped=90, rows_scanned=10)
+        assert stats.skip_fraction == pytest.approx(0.9)
+        assert stats.scan_fraction == pytest.approx(0.1)
+
+    def test_zero_rows_fractions(self):
+        assert ScanStats().skip_fraction == 0.0
+
+
+class TestQueryResult:
+    def test_rows_and_sorted_rows(self):
+        table = Table.from_columns({"a": ["b", "a"]})
+        result = QueryResult(table=table)
+        assert result.rows() == [("b",), ("a",)]
+        assert result.sorted_rows() == [("a",), ("b",)]
+        assert result.column_names == ["a"]

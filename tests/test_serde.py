@@ -1,0 +1,102 @@
+"""Store persistence tests: save/load round trips."""
+
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.errors import StorageError
+from repro.storage.serde import load_store, save_store
+from repro.testing import assert_results_equal
+from repro.workload.queries import paper_queries
+from tests.conftest import make_store
+
+
+class TestSaveLoad:
+    def test_round_trip_results(self, log_table, tmp_path):
+        store = make_store(log_table)
+        path = str(tmp_path / "logs.pds")
+        size = save_store(store, path)
+        assert size > 0
+        loaded = load_store(path)
+        for sql in paper_queries() + [
+            "SELECT country, COUNT(DISTINCT table_name) as cd FROM data "
+            "GROUP BY country ORDER BY cd DESC LIMIT 5",
+            "SELECT COUNT(*) FROM data WHERE latency > 200 AND country = 'US'",
+        ]:
+            assert_results_equal(
+                loaded.execute(sql).rows(), store.execute(sql).rows(), context=sql
+            )
+
+    def test_round_trip_structure(self, log_table, tmp_path):
+        store = make_store(log_table)
+        path = str(tmp_path / "logs.pds")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.n_rows == store.n_rows
+        assert loaded.n_chunks == store.n_chunks
+        assert loaded.options == store.options
+        for name in ("country", "table_name", "latency"):
+            original = store.field(name)
+            restored = loaded.field(name)
+            assert restored.dictionary.values() == original.dictionary.values()
+            for a, b in zip(original.chunks, restored.chunks):
+                assert a.chunk_dict.tolist() == b.chunk_dict.tolist()
+                assert a.elements.as_array().tolist() == (
+                    b.elements.as_array().tolist()
+                )
+
+    def test_sizes_preserved(self, log_table, tmp_path):
+        store = make_store(log_table)
+        path = str(tmp_path / "logs.pds")
+        save_store(store, path)
+        loaded = load_store(path)
+        for name in ("country", "table_name", "latency"):
+            assert loaded.field(name).size_bytes() == store.field(name).size_bytes()
+
+    def test_unoptimized_store_round_trips(self, log_table, tmp_path):
+        store = DataStore.from_table(
+            log_table,
+            DataStoreOptions(optimized_columns=False, optimized_dicts=False),
+        )
+        path = str(tmp_path / "basic.pds")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert_results_equal(
+            loaded.execute(paper_queries()[0]).rows(),
+            store.execute(paper_queries()[0]).rows(),
+        )
+
+    def test_null_values_round_trip(self, null_log_table, tmp_path):
+        store = make_store(null_log_table)
+        path = str(tmp_path / "nulls.pds")
+        save_store(store, path)
+        loaded = load_store(path)
+        sql = "SELECT COUNT(*), COUNT(latency) FROM data"
+        assert loaded.execute(sql).rows() == store.execute(sql).rows()
+
+    def test_virtual_fields_not_persisted_but_rematerialize(
+        self, log_table, tmp_path
+    ):
+        store = make_store(log_table)
+        store.execute(paper_queries()[1])  # materializes date(timestamp)
+        path = str(tmp_path / "logs.pds")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert all(not f.virtual for f in loaded.fields.values())
+        assert_results_equal(
+            loaded.execute(paper_queries()[1]).rows(),
+            store.execute(paper_queries()[1]).rows(),
+        )
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.pds")
+        open(path, "wb").write(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(StorageError):
+            load_store(path)
+
+    def test_file_smaller_than_csv(self, log_table, tmp_path):
+        from repro.formats import write_csv
+
+        store = make_store(log_table)
+        pds = save_store(store, str(tmp_path / "s.pds"))
+        csv = write_csv(log_table, str(tmp_path / "s.csv"))
+        assert pds < csv

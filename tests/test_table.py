@@ -1,0 +1,130 @@
+"""Table / Schema / Column tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.table import Column, DataType, Schema, Table
+from repro.errors import TableError
+
+
+class TestDataType:
+    def test_infer_string(self):
+        assert DataType.infer(["a", None]) is DataType.STRING
+
+    def test_infer_int(self):
+        assert DataType.infer([1, 2, None]) is DataType.INT
+
+    def test_infer_float_promotes_int(self):
+        assert DataType.infer([1, 2.5]) is DataType.FLOAT
+
+    def test_infer_empty_defaults_int(self):
+        assert DataType.infer([]) is DataType.INT
+
+    def test_infer_mixed_rejected(self):
+        with pytest.raises(TableError):
+            DataType.infer(["a", 1])
+
+    def test_infer_bool_rejected(self):
+        with pytest.raises(TableError):
+            DataType.infer([True])
+
+    def test_validate(self):
+        DataType.STRING.validate("x")
+        DataType.STRING.validate(None)
+        with pytest.raises(TableError):
+            DataType.STRING.validate(3)
+        with pytest.raises(TableError):
+            DataType.INT.validate(True)
+        DataType.FLOAT.validate(3)  # ints fit float columns
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([("a", DataType.INT), ("b", DataType.STRING)])
+        assert schema.dtype("b") is DataType.STRING
+        assert "a" in schema
+        assert "c" not in schema
+        assert schema.field_names == ["a", "b"]
+
+    def test_unknown_field(self):
+        schema = Schema([("a", DataType.INT)])
+        with pytest.raises(TableError):
+            schema.dtype("z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TableError):
+            Schema([("a", DataType.INT), ("a", DataType.INT)])
+
+    def test_equality(self):
+        a = Schema([("x", DataType.INT)])
+        b = Schema([("x", DataType.INT)])
+        assert a == b
+
+
+class TestTable:
+    def _table(self) -> Table:
+        return Table.from_columns({"s": ["a", "b", "c"], "n": [3, 1, 2]})
+
+    def test_shape(self):
+        table = self._table()
+        assert table.n_rows == 3
+        assert table.n_columns == 2
+        assert table.n_cells == 6
+        assert table.field_names == ["s", "n"]
+
+    def test_row_access(self):
+        table = self._table()
+        assert table.row(1) == ("b", 1)
+        with pytest.raises(TableError):
+            table.row(3)
+
+    def test_iter_rows(self):
+        assert list(self._table().iter_rows()) == [("a", 3), ("b", 1), ("c", 2)]
+
+    def test_take_reorders(self):
+        table = self._table().take(np.array([2, 0, 1]))
+        assert list(table.iter_rows()) == [("c", 2), ("a", 3), ("b", 1)]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(TableError):
+            Table([Column("a", [1]), Column("b", [1, 2])])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_from_rows(self):
+        schema = Schema([("s", DataType.STRING), ("n", DataType.INT)])
+        table = Table.from_rows([("a", 1), ("b", 2)], schema)
+        assert table.column("s").values == ["a", "b"]
+
+    def test_from_rows_width_mismatch(self):
+        schema = Schema([("s", DataType.STRING)])
+        with pytest.raises(TableError):
+            Table.from_rows([("a", 1)], schema)
+
+    def test_with_column(self):
+        table = self._table().with_column(Column("z", [9, 8, 7]))
+        assert table.field_names == ["s", "n", "z"]
+        with pytest.raises(TableError):
+            table.with_column(Column("z", [0, 0, 0]))
+
+    def test_select_columns(self):
+        table = self._table().select_columns(["n"])
+        assert table.field_names == ["n"]
+
+    def test_equality(self):
+        assert self._table() == self._table()
+        assert self._table() != self._table().take([0, 2, 1])
+
+    def test_sorted_rows_handles_nulls(self):
+        table = Table.from_columns({"s": ["b", None, "a"]})
+        assert table.sorted_rows() == [(None,), ("a",), ("b",)]
+
+    def test_unknown_column(self):
+        with pytest.raises(TableError):
+            self._table().column("zz")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(TableError):
+            Table([])

@@ -1,0 +1,171 @@
+"""Top-k fast-path tests: it must be invisible except for speed.
+
+The shortcut selects the LIMIT k groups from aggregate values and
+group global-ids *before* looking up group values in the dictionary.
+These tests pin the trickiest equivalences: ties, descending string
+keys (not invertible -> fallback), NULL aggregate values (fallback),
+HAVING (fallback), and composite groups (fallback).
+"""
+
+import pytest
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import Table
+from repro.formats.rowexec import execute_on_rows
+from repro.sql.parser import parse_query
+from repro.testing import assert_results_equal
+
+
+def _store(data: dict) -> tuple[DataStore, Table]:
+    table = Table.from_columns(data)
+    return (
+        DataStore.from_table(
+            table,
+            DataStoreOptions(partition_fields=("g",), max_chunk_rows=4),
+        ),
+        table,
+    )
+
+
+def _check(store: DataStore, table: Table, sql: str) -> None:
+    parsed = parse_query(sql)
+    expected = execute_on_rows(parsed, table.schema, table.iter_rows())
+    assert_results_equal(
+        store.execute(parsed).rows(), list(expected.iter_rows()), context=sql
+    )
+
+
+class TestTies:
+    def test_all_counts_equal(self):
+        store, table = _store(
+            {"g": ["d", "b", "a", "c", "e", "f"], "x": [1, 2, 3, 4, 5, 6]}
+        )
+        # Every group has count 1: the tie-break (group value ascending)
+        # decides which two survive LIMIT 2.
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY c DESC LIMIT 2"
+        ))
+
+    def test_partial_ties_at_the_cut(self):
+        store, table = _store(
+            {
+                "g": ["a", "a", "b", "b", "c", "d", "e"],
+                "x": [1] * 7,
+            }
+        )
+        # counts: a=2, b=2, c=1, d=1, e=1; LIMIT 4 cuts through the
+        # count-1 tie between c, d, e.
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY c DESC LIMIT 4"
+        ))
+
+    def test_ascending_order_ties(self):
+        store, table = _store(
+            {"g": ["a", "b", "c", "a", "b", "c"], "x": [1, 1, 1, 2, 2, 2]}
+        )
+        _check(store, table, (
+            "SELECT g, SUM(x) as s FROM data GROUP BY g "
+            "ORDER BY s ASC LIMIT 2"
+        ))
+
+
+class TestFallbackPaths:
+    def test_descending_string_key_falls_back(self):
+        store, table = _store(
+            {"g": ["a", "b", "c"], "name": ["zz", "mm", "aa"]}
+        )
+        # MIN(name) is a string: not invertible for DESC -> general path.
+        _check(store, table, (
+            "SELECT g, MIN(name) as m FROM data GROUP BY g "
+            "ORDER BY m DESC LIMIT 2"
+        ))
+
+    def test_null_aggregate_falls_back(self):
+        store, table = _store(
+            {"g": ["a", "a", "b"], "x": [None, None, 5]}
+        )
+        # SUM over all-NULL group 'a' is NULL: ordering needs NULL
+        # placement -> general path.
+        _check(store, table, (
+            "SELECT g, SUM(x) as s FROM data GROUP BY g "
+            "ORDER BY s DESC LIMIT 2"
+        ))
+
+    def test_having_falls_back(self):
+        store, table = _store(
+            {"g": ["a", "a", "b", "c"], "x": [1, 1, 1, 1]}
+        )
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "HAVING c > 1 ORDER BY c DESC LIMIT 1"
+        ))
+
+    def test_composite_group_falls_back(self):
+        store, table = _store(
+            {
+                "g": ["a", "a", "b", "b"],
+                "x": [1, 2, 1, 2],
+            }
+        )
+        _check(store, table, (
+            "SELECT g, x, COUNT(*) as c FROM data GROUP BY g, x "
+            "ORDER BY c DESC LIMIT 3"
+        ))
+
+    def test_order_by_group_expression_falls_back(self):
+        store, table = _store(
+            {"g": ["ab", "cd", "ef"], "x": [1, 2, 3]}
+        )
+        # upper(g) needs the group value -> general path.
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY upper(g) DESC LIMIT 2"
+        ))
+
+
+class TestFastPathOrdering:
+    def test_order_by_group_alias_ascending(self):
+        """ORDER BY the group column itself: gid order == value order."""
+        store, table = _store(
+            {"g": ["m", "a", "z", "k"], "x": [1, 2, 3, 4]}
+        )
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY g ASC LIMIT 3"
+        ))
+
+    def test_order_by_group_descending(self):
+        store, table = _store(
+            {"g": ["m", "a", "z", "k"], "x": [1, 2, 3, 4]}
+        )
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY g DESC LIMIT 2"
+        ))
+
+    def test_expression_over_aggregates_as_key(self):
+        store, table = _store(
+            {"g": ["a", "a", "b", "b", "b", "c"], "x": [10, 20, 1, 2, 3, 9]}
+        )
+        _check(store, table, (
+            "SELECT g, SUM(x) / COUNT(*) as mean FROM data GROUP BY g "
+            "ORDER BY mean DESC LIMIT 2"
+        ))
+
+    def test_limit_larger_than_groups(self):
+        store, table = _store({"g": ["a", "b"], "x": [1, 2]})
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY c DESC LIMIT 50"
+        ))
+
+    def test_limit_one(self):
+        store, table = _store(
+            {"g": ["a", "b", "b"], "x": [1, 2, 3]}
+        )
+        _check(store, table, (
+            "SELECT g, COUNT(*) as c FROM data GROUP BY g "
+            "ORDER BY c DESC LIMIT 1"
+        ))

@@ -1,0 +1,124 @@
+"""Nibble-trie dictionary tests — Section 3 "Optimize Global-Dictionaries"."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DictionaryError
+from repro.storage.dictionary import SortedStringDictionary
+from repro.storage.trie import TrieDictionary, _nibbles, _pack_nibbles
+
+
+class TestNibbles:
+    def test_ascii(self):
+        assert _nibbles("A") == [0x4, 0x1]  # 'A' = 0x41
+
+    def test_empty(self):
+        assert _nibbles("") == []
+
+    def test_utf8_multibyte(self):
+        # 'é' = 0xC3 0xA9 in UTF-8
+        assert _nibbles("é") == [0xC, 0x3, 0xA, 0x9]
+
+    def test_pack_odd_count_pads(self):
+        assert _pack_nibbles([0xA, 0xB, 0xC]) == bytes([0xAB, 0xC0])
+
+
+class TestTrieDictionary:
+    def test_basic_bijection(self):
+        values = ["amazon", "cheap flights", "cheap tickets", "ebay"]
+        trie = TrieDictionary.from_sorted(values)
+        for index, value in enumerate(values):
+            assert trie.value(index) == value
+            assert trie.global_id(value) == index
+
+    def test_misses(self):
+        trie = TrieDictionary.from_sorted(["abc", "abd"])
+        assert trie.global_id("ab") is None  # strict prefix
+        assert trie.global_id("abcd") is None  # extension
+        assert trie.global_id("abe") is None
+        assert trie.global_id("") is None
+
+    def test_empty_string_member(self):
+        trie = TrieDictionary.from_sorted(["", "a"])
+        assert trie.global_id("") == 0
+        assert trie.value(0) == ""
+
+    def test_prefix_members(self):
+        # Shorter strings sort (and rank) before their extensions.
+        values = ["a", "aa", "aaa", "ab"]
+        trie = TrieDictionary.from_sorted(values)
+        assert [trie.value(i) for i in range(4)] == values
+        assert [trie.global_id(v) for v in values] == [0, 1, 2, 3]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(DictionaryError):
+            TrieDictionary.from_sorted(["b", "a"])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(DictionaryError):
+            TrieDictionary.from_sorted(["a", "a"])
+
+    def test_from_values_sorts_and_dedupes(self):
+        trie = TrieDictionary.from_values(["b", "a", "b", None])
+        assert trie.has_null
+        assert trie.value(1) == "a"
+
+    def test_unicode(self):
+        values = sorted(["köln", "käse", "日本", "日本語", "a"])
+        trie = TrieDictionary.from_sorted(values)
+        for index, value in enumerate(values):
+            assert trie.value(index) == value
+            assert trie.global_id(value) == index
+
+    def test_shared_prefixes_compress(self):
+        # The table_name effect: date-suffixed names share everything
+        # but the tail, and the trie stores shared prefixes once.
+        values = sorted(
+            f"/analytics/logs/team{t:02d}/queries/2011-{m:02d}-{d:02d}"
+            for t in range(8)
+            for m in range(1, 13)
+            for d in range(1, 28, 3)
+        )
+        trie = TrieDictionary.from_sorted(values)
+        plain = SortedStringDictionary(values)
+        assert trie.size_bytes() < plain.size_bytes() / 2
+
+    def test_rank_lower_bound(self):
+        values = ["apple", "banana", "cherry"]
+        trie = TrieDictionary.from_sorted(values)
+        assert trie.gid_range("<", "banana") == (0, 1)
+        assert trie.gid_range("<=", "banana") == (0, 2)
+        assert trie.gid_range(">", "apple") == (1, 3)
+        assert trie.gid_range(">=", "b") == (1, 3)  # absent probe
+        assert trie.gid_range("<", "a") == (0, 0)
+        assert trie.gid_range(">", "zzz") == (3, 3)
+
+    def test_rank_lower_bound_prefix_probes(self):
+        values = ["ab", "abc", "ac"]
+        trie = TrieDictionary.from_sorted(values)
+        # "ab" itself is not strictly smaller than "ab".
+        assert trie.gid_range(">=", "ab") == (0, 3)
+        # probe inside a skip run
+        assert trie.gid_range("<", "abb") == (0, 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.text(min_size=0, max_size=12), min_size=1, max_size=60))
+    def test_bijection_property(self, values):
+        ordered = sorted(values)
+        trie = TrieDictionary.from_sorted(ordered)
+        for index, value in enumerate(ordered):
+            assert trie.value(index) == value
+            assert trie.global_id(value) == index
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(st.text(max_size=10), min_size=1, max_size=40),
+        st.text(max_size=10),
+    )
+    def test_lower_bound_matches_sorted_scan(self, values, probe):
+        import bisect
+
+        ordered = sorted(values)
+        trie = TrieDictionary.from_sorted(ordered)
+        expected = bisect.bisect_left(ordered, probe)
+        assert trie._rank_lower_bound(probe) == expected

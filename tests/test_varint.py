@@ -1,0 +1,73 @@
+"""Varint / zigzag wire-encoding tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.varint import (
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+)
+from repro.errors import CompressionError
+
+
+class TestVarint:
+    def test_zero_is_one_byte(self):
+        assert encode_varint(0) == b"\x00"
+
+    def test_small_values_one_byte(self):
+        for value in (1, 17, 127):
+            assert len(encode_varint(value)) == 1
+
+    def test_128_takes_two_bytes(self):
+        assert len(encode_varint(128)) == 2
+
+    def test_round_trip_boundaries(self):
+        for value in (0, 1, 127, 128, 16383, 16384, 2**32, 2**63 - 1):
+            encoded = encode_varint(value)
+            decoded, pos = decode_varint(encoded)
+            assert decoded == value
+            assert pos == len(encoded)
+
+    def test_decode_from_offset(self):
+        data = b"\xff" + encode_varint(300)
+        value, pos = decode_varint(data, 1)
+        assert value == 300
+        assert pos == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CompressionError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CompressionError):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(CompressionError):
+            decode_varint(b"")
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_round_trip_property(self, value):
+        decoded, __ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestZigzag:
+    def test_alternating_mapping(self):
+        # zigzag maps 0,-1,1,-2,2... to 0,1,2,3,4...
+        assert encode_zigzag(0) == b"\x00"
+        assert encode_zigzag(-1) == b"\x01"
+        assert encode_zigzag(1) == b"\x02"
+        assert encode_zigzag(-2) == b"\x03"
+
+    def test_round_trip_boundaries(self):
+        for value in (0, -1, 1, -(2**31), 2**31, -(2**62), 2**62):
+            decoded, __ = decode_zigzag(encode_zigzag(value))
+            assert decoded == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_round_trip_property(self, value):
+        decoded, __ = decode_zigzag(encode_zigzag(value))
+        assert decoded == value

@@ -1,0 +1,154 @@
+"""Workload generator tests: dataset shape and drill-down sessions."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sql.parser import parse_query
+from repro.workload.generator import (
+    LogsConfig,
+    _date_string,
+    generate_query_logs,
+)
+from repro.workload.queries import (
+    DrillDownConfig,
+    generate_drilldown_sessions,
+    paper_queries,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = LogsConfig(n_rows=500, seed=5)
+        assert generate_query_logs(config) == generate_query_logs(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_query_logs(LogsConfig(n_rows=500, seed=1))
+        b = generate_query_logs(LogsConfig(n_rows=500, seed=2))
+        assert a != b
+
+    def test_schema(self, log_table):
+        assert log_table.field_names == [
+            "timestamp",
+            "table_name",
+            "latency",
+            "country",
+            "user_name",
+        ]
+
+    def test_country_cardinality(self, log_table):
+        countries = set(log_table.column("country").values)
+        assert 2 <= len(countries) <= 25
+
+    def test_table_name_is_many_distinct(self, log_table):
+        names = set(log_table.column("table_name").values)
+        # "a field with many distinct values" — scaling with rows.
+        assert len(names) > log_table.n_rows / 50
+
+    def test_table_names_include_dates(self, log_table):
+        name = log_table.column("table_name").values[0]
+        assert name.split("/")[-1].count("-") == 2
+
+    def test_timestamps_in_window(self, log_table):
+        values = log_table.column("timestamp").values
+        start = 1317427200
+        assert all(start <= ts < start + 92 * 86400 for ts in values)
+
+    def test_latency_positive(self, log_table):
+        assert all(v > 0 for v in log_table.column("latency").values)
+
+    def test_null_fraction(self):
+        table = generate_query_logs(
+            LogsConfig(n_rows=2000, seed=3, null_latency_fraction=0.1)
+        )
+        nulls = sum(1 for v in table.column("latency").values if v is None)
+        assert 0.05 < nulls / 2000 < 0.2
+
+    def test_country_skew_is_zipfian(self, log_table):
+        from collections import Counter
+
+        counts = Counter(log_table.column("country").values).most_common()
+        assert counts[0][1] > 3 * counts[-1][1]
+
+    def test_country_team_correlation(self):
+        """Teams concentrate in home countries (enables skip wins)."""
+        from collections import Counter
+
+        table = generate_query_logs(LogsConfig(n_rows=20_000, seed=8))
+        by_team: dict[str, Counter] = {}
+        for name, country in zip(
+            table.column("table_name").values, table.column("country").values
+        ):
+            team = name.split("/")[4]
+            by_team.setdefault(team, Counter())[country] += 1
+        concentrated = 0
+        for counter in by_team.values():
+            total = sum(counter.values())
+            if total >= 50 and counter.most_common(1)[0][1] / total > 0.4:
+                concentrated += 1
+        assert concentrated >= len([c for c in by_team.values() if sum(c.values()) >= 50]) / 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ReproError):
+            LogsConfig(n_rows=0)
+        with pytest.raises(ReproError):
+            LogsConfig(null_latency_fraction=1.5)
+
+    def test_date_string_civil_conversion(self):
+        assert _date_string(0) == "2011-10-01"
+        assert _date_string(31) == "2011-11-01"
+        assert _date_string(91) == "2011-12-31"
+
+
+class TestPaperQueries:
+    def test_three_queries_parse(self):
+        queries = paper_queries()
+        assert len(queries) == 3
+        for sql in queries:
+            parse_query(sql)
+
+
+class TestDrillDownSessions:
+    def test_all_queries_parse_and_run(self, log_table, log_store):
+        clicks = generate_drilldown_sessions(
+            log_table,
+            DrillDownConfig(n_sessions=2, clicks_per_session=2, queries_per_click=3),
+        )
+        assert len(clicks) == 4
+        for batch in clicks:
+            assert len(batch) == 3
+            for sql in batch:
+                log_store.execute(sql)  # must not raise
+
+    def test_restrictions_deepen_within_session(self, log_table):
+        clicks = generate_drilldown_sessions(
+            log_table,
+            DrillDownConfig(n_sessions=1, clicks_per_session=3, queries_per_click=1),
+        )
+        depths = [batch[0].count(" IN (") for batch in clicks]
+        assert depths == sorted(depths)
+
+    def test_deterministic(self, log_table):
+        config = DrillDownConfig(n_sessions=2, seed=9)
+        assert generate_drilldown_sessions(
+            log_table, config
+        ) == generate_drilldown_sessions(log_table, config)
+
+    def test_invalid_config(self, log_table):
+        with pytest.raises(ReproError):
+            generate_drilldown_sessions(
+                log_table, DrillDownConfig(queries_per_click=0)
+            )
+
+    def test_drilldowns_skip_most_rows(self, log_table, log_store):
+        """The Section 6 effect at test scale: most rows are skipped."""
+        clicks = generate_drilldown_sessions(
+            log_table,
+            DrillDownConfig(n_sessions=4, clicks_per_session=3, queries_per_click=2),
+        )
+        skipped = total = 0
+        for batch in clicks:
+            for sql in batch:
+                stats = log_store.execute(sql).stats
+                skipped += stats.rows_skipped + stats.rows_cached
+                total += stats.rows_total
+        assert skipped / total > 0.5

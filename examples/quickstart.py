@@ -20,6 +20,7 @@ from repro import (
     generate_query_logs,
     paper_queries,
 )
+from repro.analysis import fsck_store
 
 
 def main() -> None:
@@ -47,6 +48,15 @@ def main() -> None:
         f"  {store.n_chunks} chunks in {time.perf_counter() - started:.2f}s; "
         f"encoded size {store.total_size_bytes() / 1024:.0f} KB"
     )
+
+    # Verify the freshly-built store satisfies the invariant catalog
+    # (dictionary sortedness, chunk-dict subsets, partition ranges, ...)
+    # that chunk skipping and the bincount inner loop rely on.
+    report = fsck_store(store)
+    print(f"  {report.summary()}")
+    if not report.ok:
+        print(report.to_text())
+        raise SystemExit(1)
 
     for index, sql in enumerate(paper_queries(), start=1):
         print(f"\nQuery {index}: {sql}")

@@ -1,0 +1,136 @@
+"""CLI surface for the analysis tooling: ``repro lint`` / ``repro fsck``.
+
+Both commands print a findings report (text or JSON) and exit non-zero
+when findings are present, so they can gate CI directly. ``repro-lint``
+is also installed as a standalone console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.catalog import (
+    FSCK_CATALOG,
+    LINT_CATALOG,
+    render_catalog,
+)
+from repro.analysis.findings import FindingsReport, Severity
+from repro.analysis.fsck import fsck_file
+from repro.analysis.lint import run_lint
+from repro.errors import ReproError
+
+
+def _parse_severity_overrides(pairs: list[str]) -> dict[str, Severity]:
+    overrides: dict[str, Severity] = {}
+    for pair in pairs:
+        code, __, level = pair.partition("=")
+        if not level:
+            raise ReproError(
+                f"bad --severity {pair!r}; expected CODE=LEVEL "
+                "(e.g. REP005=warning)"
+            )
+        overrides[code.strip()] = Severity.parse(level)
+    return overrides
+
+
+def _emit(report: FindingsReport, fmt: str) -> int:
+    if fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 1 if report.findings else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_catalog(LINT_CATALOG))
+        return 0
+    report = run_lint(
+        args.paths,
+        select=args.select or None,
+        severity_overrides=_parse_severity_overrides(args.severity),
+    )
+    return _emit(report, args.format)
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    if args.list_checks:
+        print(render_catalog(FSCK_CATALOG))
+        return 0
+    if args.store is None:
+        raise ReproError("fsck needs a store file (or --list-checks)")
+    report = fsck_file(args.store, check_serde=not args.no_serde)
+    return _emit(report, args.format)
+
+
+def configure_lint_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only the given rule (repeatable)",
+    )
+    parser.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. REP005=warning (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.set_defaults(func=cmd_lint)
+
+
+def configure_fsck_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "store", nargs="?", default=None, help="store file (.pds)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--no-serde",
+        action="store_true",
+        help="skip the per-chunk serde round-trip checks",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalog"
+    )
+    parser.set_defaults(func=cmd_fsck)
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="reprolint — the repo-specific static analyzer",
+    )
+    configure_lint_parser(parser)
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Pager/head closed the pipe early; exit quietly (see
+        # repro.cli.main for the dup2 rationale).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -1,0 +1,404 @@
+"""``fsck`` — structural-integrity checking for datastores.
+
+Walks a :class:`~repro.core.datastore.DataStore` (or a ``.pds`` file)
+and verifies the invariant catalog the query engine silently relies
+on: global dictionaries are sorted bijections, chunk-dictionaries are
+sorted subsets of the global dictionary, elements index into their
+chunk-dictionary, chunk value bounds reflect actual contents,
+partition code ranges do not overlap across chunks, row counts agree
+everywhere, and every chunk round-trips through the serde layer.
+
+Every violated invariant becomes a :class:`~repro.analysis.findings.
+Finding` with a stable ``FSCK0xx`` code (see
+:mod:`repro.analysis.catalog`); the checker never raises on corrupt
+data — one run reports everything wrong with a store.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.findings import FindingsReport, Severity
+from repro.core.datastore import DataStore, FieldStore
+from repro.errors import ReproError
+from repro.monitoring import counters
+from repro.storage import serde
+from repro.storage.chunk import ColumnChunk
+
+#: Cap on exhaustive per-gid dictionary bijection checks; larger
+#: dictionaries are strided so fsck stays usable on big stores.
+_MAX_BIJECTION_PROBES = 10_000
+
+
+def _null_safe_key(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return tuple(_null_safe_key(v) for v in value)
+    return (value is not None, value)
+
+
+def _check(report: FindingsReport, name: str) -> None:
+    report.items_checked += 1
+    counters.increment("analysis.fsck.checks_run")
+
+
+def _finding(
+    report: FindingsReport, code: str, message: str, where: str
+) -> None:
+    report.add(code, Severity.ERROR, message, where)
+    counters.increment("analysis.fsck.findings")
+
+
+# -- dictionary invariants --------------------------------------------------
+
+
+def _check_dictionary(report: FindingsReport, field: FieldStore) -> None:
+    where = f"field {field.name!r} dictionary"
+    dictionary = field.dictionary
+
+    _check(report, "dict-sorted")
+    try:
+        values = dictionary.values()
+    except ReproError as error:
+        _finding(
+            report,
+            "FSCK001",
+            f"dictionary cannot enumerate its values: {error}",
+            where,
+        )
+        return
+    if dictionary.has_null and (not values or values[0] is not None):
+        _finding(
+            report,
+            "FSCK001",
+            "has_null dictionary does not place NULL at global-id 0",
+            where,
+        )
+    non_null = values[1:] if dictionary.has_null else values
+    offset = 1 if dictionary.has_null else 0
+    try:
+        keys = [_null_safe_key(v) for v in non_null]
+        for index in range(len(keys) - 1):
+            if keys[index] >= keys[index + 1]:
+                _finding(
+                    report,
+                    "FSCK001",
+                    f"dictionary values not strictly ascending at "
+                    f"global-id {index + offset}: {non_null[index]!r} >= "
+                    f"{non_null[index + 1]!r}",
+                    where,
+                )
+                break
+    except TypeError as error:
+        _finding(
+            report,
+            "FSCK001",
+            f"dictionary values are not mutually orderable: {error}",
+            where,
+        )
+
+    _check(report, "dict-bijection")
+    n = len(dictionary)
+    stride = max(1, n // _MAX_BIJECTION_PROBES)
+    for gid in range(0, n, stride):
+        try:
+            round_trip = dictionary.global_id(values[gid])
+        except ReproError as error:
+            _finding(
+                report,
+                "FSCK002",
+                f"global_id lookup of value {values[gid]!r} failed: {error}",
+                where,
+            )
+            break
+        if round_trip != gid:
+            _finding(
+                report,
+                "FSCK002",
+                f"value {values[gid]!r} at global-id {gid} resolves back "
+                f"to {round_trip}; the id<->value mapping is not a "
+                "bijection",
+                where,
+            )
+            break
+
+
+# -- chunk invariants -------------------------------------------------------
+
+
+def _check_chunk(
+    report: FindingsReport,
+    field: FieldStore,
+    chunk_index: int,
+    chunk: ColumnChunk,
+    n_global: int,
+    expected_rows: int,
+) -> None:
+    where = f"field {field.name!r} chunk {chunk_index}"
+    chunk_dict = chunk.chunk_dict
+
+    _check(report, "chunk-dict-sorted")
+    if chunk_dict.size > 1 and not np.all(chunk_dict[:-1] < chunk_dict[1:]):
+        position = int(np.argmax(chunk_dict[:-1] >= chunk_dict[1:]))
+        _finding(
+            report,
+            "FSCK003",
+            f"chunk-dictionary not strictly ascending at slot {position} "
+            f"({int(chunk_dict[position])} >= {int(chunk_dict[position + 1])})",
+            where,
+        )
+
+    _check(report, "chunk-dict-subset")
+    if chunk_dict.size and int(chunk_dict.max()) >= n_global:
+        _finding(
+            report,
+            "FSCK004",
+            f"chunk-dictionary refers to global-id {int(chunk_dict.max())} "
+            f"but the global dictionary has only {n_global} entries",
+            where,
+        )
+
+    _check(report, "element-range")
+    elements = chunk.elements.as_array()
+    if elements.size and chunk_dict.size == 0:
+        _finding(
+            report,
+            "FSCK005",
+            f"{elements.size} element row(s) but an empty chunk-dictionary",
+            where,
+        )
+    elif elements.size and int(elements.max()) >= chunk_dict.size:
+        _finding(
+            report,
+            "FSCK005",
+            f"element chunk-id {int(elements.max())} out of range "
+            f"[0, {chunk_dict.size})",
+            where,
+        )
+    else:
+        _check(report, "chunk-bounds")
+        if chunk_dict.size:
+            used = np.bincount(elements, minlength=chunk_dict.size)
+            unused = np.flatnonzero(used == 0)
+            if unused.size:
+                slot = int(unused[0])
+                edge_slots = {0, int(chunk_dict.size) - 1}
+                edge = (
+                    " (min/max global-id bounds are stale)"
+                    if edge_slots & set(unused.tolist())
+                    else ""
+                )
+                _finding(
+                    report,
+                    "FSCK006",
+                    f"chunk-dictionary slot {slot} (global-id "
+                    f"{int(chunk_dict[slot])}) is referenced by no row; "
+                    f"{unused.size} unused slot(s){edge}",
+                    where,
+                )
+
+    _check(report, "row-count")
+    if chunk.elements.n_rows != expected_rows:
+        _finding(
+            report,
+            "FSCK007",
+            f"elements hold {chunk.elements.n_rows} rows, store header "
+            f"says {expected_rows}",
+            where,
+        )
+    elif elements.size != expected_rows:
+        _finding(
+            report,
+            "FSCK007",
+            f"elements decode to {elements.size} rows, header says "
+            f"{expected_rows}",
+            where,
+        )
+
+
+# -- partition invariants ---------------------------------------------------
+
+
+def _check_partition_codes(report: FindingsReport, store: DataStore) -> None:
+    """Composite range partitioning invariant (FSCK008).
+
+    Splits on the first partition field produce disjoint global-id
+    ranges; chunks split on deeper fields inherit a single-valued
+    first-field range. So any two chunks' [min, max] intervals on the
+    first partition field are either disjoint or the same single point.
+    """
+    if not store.options.partition_fields:
+        return
+    first = store.options.partition_fields[0]
+    field = store.fields.get(first)
+    if field is None:
+        _check(report, "partition-field")
+        _finding(
+            report,
+            "FSCK008",
+            f"partition field {first!r} is missing from the store",
+            f"field {first!r}",
+        )
+        return
+    _check(report, "partition-ranges")
+    intervals = []
+    for index, chunk in enumerate(field.chunks):
+        if chunk.chunk_dict.size:
+            intervals.append(
+                (int(chunk.chunk_dict[0]), int(chunk.chunk_dict[-1]), index)
+            )
+    intervals.sort()
+    for (lo_a, hi_a, idx_a), (lo_b, hi_b, idx_b) in zip(
+        intervals, intervals[1:]
+    ):
+        if lo_b <= hi_a and not (lo_a == hi_a == lo_b == hi_b):
+            _finding(
+                report,
+                "FSCK008",
+                f"partition field {first!r}: chunks {idx_a} and {idx_b} "
+                f"have overlapping global-id ranges [{lo_a}, {hi_a}] and "
+                f"[{lo_b}, {hi_b}]",
+                f"field {first!r}",
+            )
+            return
+
+
+# -- serde round-trip -------------------------------------------------------
+
+
+def _check_serde_dictionary(report: FindingsReport, field: FieldStore) -> None:
+    where = f"field {field.name!r} dictionary"
+    _check(report, "serde-dictionary")
+    try:
+        meta = serde.dictionary_meta(field.dictionary)
+        payload = field.dictionary.to_bytes()
+        decoded = serde.decode_dictionary(meta, payload)
+        if decoded.values() != field.dictionary.values():
+            _finding(
+                report,
+                "FSCK009",
+                "dictionary does not round-trip through serde: decoded "
+                "values differ",
+                where,
+            )
+    except ReproError as error:
+        _finding(
+            report,
+            "FSCK009",
+            f"dictionary serde round-trip failed: {error}",
+            where,
+        )
+
+
+def _check_serde_chunk(
+    report: FindingsReport,
+    field: FieldStore,
+    chunk_index: int,
+    chunk: ColumnChunk,
+) -> None:
+    where = f"field {field.name!r} chunk {chunk_index}"
+    _check(report, "serde-chunk")
+    try:
+        encoded = serde.encode_chunk_dict(chunk.chunk_dict)
+        decoded, end = serde.decode_chunk_dict(encoded, 0)
+        if end != len(encoded) or not np.array_equal(decoded, chunk.chunk_dict):
+            _finding(
+                report,
+                "FSCK009",
+                "chunk-dictionary does not round-trip through serde",
+                where,
+            )
+        encoded = serde.encode_elements(chunk.elements)
+        elements, end = serde.decode_elements(encoded, 0)
+        if end != len(encoded) or not np.array_equal(
+            elements.as_array(), chunk.elements.as_array()
+        ):
+            _finding(
+                report,
+                "FSCK009",
+                "elements do not round-trip through serde",
+                where,
+            )
+    except ReproError as error:
+        _finding(
+            report, "FSCK009", f"chunk serde round-trip failed: {error}", where
+        )
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def fsck_store(store: DataStore, check_serde: bool = True) -> FindingsReport:
+    """Verify the full invariant catalog over an in-memory store.
+
+    Returns a :class:`FindingsReport`; an empty report means every
+    checked invariant holds. ``check_serde=False`` skips the (slower)
+    per-chunk serde round-trip checks.
+    """
+    report = FindingsReport(tool="fsck")
+    counters.increment("analysis.fsck.stores_checked")
+
+    _check(report, "store-row-counts")
+    if sum(store.chunk_row_counts) != store.n_rows:
+        _finding(
+            report,
+            "FSCK007",
+            f"chunk row counts sum to {sum(store.chunk_row_counts)}, "
+            f"store claims {store.n_rows} rows",
+            "store header",
+        )
+
+    for name, field in store.fields.items():
+        _check(report, "field-chunk-count")
+        if len(field.chunks) != store.n_chunks:
+            _finding(
+                report,
+                "FSCK007",
+                f"field has {len(field.chunks)} chunks, store has "
+                f"{store.n_chunks}",
+                f"field {name!r}",
+            )
+        _check_dictionary(report, field)
+        n_global = len(field.dictionary)
+        for chunk_index, chunk in enumerate(field.chunks):
+            expected = (
+                store.chunk_row_counts[chunk_index]
+                if chunk_index < len(store.chunk_row_counts)
+                else chunk.elements.n_rows
+            )
+            _check_chunk(report, field, chunk_index, chunk, n_global, expected)
+            if check_serde and not field.virtual:
+                _check_serde_chunk(report, field, chunk_index, chunk)
+        if check_serde and not field.virtual:
+            _check_serde_dictionary(report, field)
+
+    _check_partition_codes(report, store)
+    report.findings.sort(key=lambda f: (f.where, f.code))
+    return report
+
+
+def fsck_file(path: str, check_serde: bool = True) -> FindingsReport:
+    """Load a ``.pds`` store file and fsck it.
+
+    Parse failures (truncated file, checksum mismatch, bad magic, ...)
+    become ``FSCK010`` findings instead of exceptions, so corrupt files
+    still produce a report.
+    """
+    try:
+        store = serde.load_store(path)
+    except ReproError as error:
+        report = FindingsReport(tool="fsck", items_checked=1)
+        counters.increment("analysis.fsck.stores_checked")
+        _finding(
+            report,
+            "FSCK010",
+            f"store file cannot be parsed: {error}",
+            path,
+        )
+        return report
+    except OSError as error:
+        report = FindingsReport(tool="fsck", items_checked=1)
+        _finding(report, "FSCK010", f"store file unreadable: {error}", path)
+        return report
+    return fsck_store(store, check_serde=check_serde)

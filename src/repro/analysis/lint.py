@@ -1,0 +1,233 @@
+"""The ``reprolint`` engine: rule registry, suppressions, file walking.
+
+Rules are small classes registered with :func:`lint_rule`; each one
+inspects a parsed module (:class:`ModuleInfo`) and yields raw findings.
+The engine handles everything rule-independent: discovering ``.py``
+files, parsing, inline suppressions, severity overrides and assembling
+the :class:`~repro.analysis.findings.FindingsReport`.
+
+Suppressions are source comments::
+
+    raise AttributeError(...)  # reprolint: disable=REP001 -- why it is ok
+    # reprolint: disable-file=REP005 -- whole-module opt-out
+
+A line-level ``disable`` silences the listed codes on that line only; a
+``disable-file`` silences them for the whole module. The ``-- reason``
+trailer is encouraged (and what code review should look for) but not
+enforced by the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import FindingsReport, Severity
+from repro.errors import AnalysisError
+from repro.monitoring import counters
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Z0-9,\s]+?)(?:\s*--.*)?$"
+)
+
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module handed to every applicable rule."""
+
+    path: str
+    rel_path: str
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @property
+    def in_package_root(self) -> bool:
+        return "/" not in self.rel_path
+
+    def top_dir(self) -> str:
+        """First path segment below the lint root ('' for root files)."""
+        return self.rel_path.split("/", 1)[0] if "/" in self.rel_path else ""
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A rule observation before suppression/severity resolution."""
+
+    line: int
+    col: int
+    message: str
+
+
+class LintRule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``code``, ``name``, ``description`` and
+    ``default_severity``, and implement :meth:`check`. Path scoping is
+    declarative: ``only_dirs`` restricts a rule to top-level package
+    directories, ``exempt_files`` lists package-relative paths the rule
+    never applies to.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+    only_dirs: tuple[str, ...] | None = None
+    exempt_files: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.rel_path in self.exempt_files:
+            return False
+        if self.only_dirs is not None:
+            return module.top_dir() in self.only_dirs
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def lint_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator registering a rule under its ``code``."""
+    if not cls.code:
+        raise AnalysisError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[type[LintRule]]:
+    """Registered rule classes, ordered by code."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> type[LintRule]:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _ensure_rules_loaded() -> None:
+    # The built-in rules self-register on import; keep the import here
+    # so ``lint`` stays importable from ``rules`` without a cycle.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+
+# -- discovery & parsing ----------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield (absolute_path, rel_path) for every ``.py`` under ``paths``."""
+    for root in paths:
+        root = os.path.abspath(root)
+        if os.path.isfile(root):
+            yield root, os.path.basename(root)
+            continue
+        if not os.path.isdir(root):
+            raise AnalysisError(f"lint path does not exist: {root}")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                yield full, os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, set[str]], set[str]]:
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
+        if match.group(1) == "disable-file":
+            per_file |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, per_file
+
+
+def load_module(path: str, rel_path: str) -> ModuleInfo:
+    """Read and parse one module, including its suppression comments."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise AnalysisError(f"cannot parse {path}: {error}") from error
+    per_line, per_file = _parse_suppressions(source)
+    return ModuleInfo(path, rel_path, source, tree, per_line, per_file)
+
+
+# -- the run ----------------------------------------------------------------
+
+
+def run_lint(
+    paths: Iterable[str] | str,
+    select: Iterable[str] | None = None,
+    severity_overrides: dict[str, Severity] | None = None,
+) -> FindingsReport:
+    """Lint every ``.py`` file under ``paths`` with the registered rules.
+
+    ``select`` restricts the run to the given rule codes;
+    ``severity_overrides`` maps rule codes to severities replacing each
+    rule's default. Suppressed findings are counted but not reported.
+    """
+    if isinstance(paths, str):
+        paths = [paths]
+    overrides = severity_overrides or {}
+    for code in overrides:
+        get_rule(code)  # validate early
+    if select is not None:
+        rules = [get_rule(code)() for code in select]
+    else:
+        rules = [cls() for cls in all_rules()]
+
+    report = FindingsReport(tool="reprolint")
+    for path, rel_path in iter_python_files(paths):
+        module = load_module(path, rel_path)
+        report.items_checked += 1
+        counters.increment("analysis.lint.files_scanned")
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            severity = overrides.get(rule.code, rule.default_severity)
+            for raw in rule.check(module):
+                suppressed_here = module.line_suppressions.get(
+                    raw.line, set()
+                )
+                if (
+                    rule.code in suppressed_here
+                    or rule.code in module.file_suppressions
+                ):
+                    report.suppressed += 1
+                    counters.increment("analysis.lint.suppressed")
+                    continue
+                report.add(
+                    rule.code,
+                    severity,
+                    raw.message,
+                    where=f"{rel_path}:{raw.line}:{raw.col}",
+                )
+                counters.increment("analysis.lint.findings")
+    report.findings.sort(key=lambda f: (f.where, f.code))
+    return report

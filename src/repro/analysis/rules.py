@@ -1,0 +1,340 @@
+"""The built-in reprolint rules (REP001 — REP006).
+
+Each rule encodes one repo convention that keeps the storage layer's
+invariants enforceable:
+
+- REP001 — raises stay inside the :mod:`repro.errors` hierarchy so
+  callers can rely on ``except ReproError``.
+- REP002 — no blanket ``except Exception`` that would swallow
+  corruption signals.
+- REP003 — codecs are resolved via :mod:`repro.compress.registry`
+  only, so every codec in use is covered by the registry round-trip
+  tests.
+- REP004 — no cross-module mutation of ``_``-private state (chunk
+  dictionaries, dictionary payloads, ...).
+- REP005 — public storage/core/formats functions carry type
+  annotations.
+- REP006 — library code reports through :mod:`repro.monitoring`, not
+  ``print``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+import repro.errors as _errors
+from repro.analysis.findings import Severity
+from repro.analysis.lint import LintRule, ModuleInfo, RawFinding, lint_rule
+
+#: Exception names a library ``raise`` may use: the repro hierarchy,
+#: plus NotImplementedError (the abstract-interface idiom).
+ALLOWED_RAISES = {
+    name
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, Exception)
+} | {"NotImplementedError"}
+
+#: Codec implementation modules whose entry points must not be imported
+#: directly outside ``compress/`` — resolve through the registry instead.
+CODEC_MODULES = {
+    "repro.compress.zippy",
+    "repro.compress.lzo_like",
+    "repro.compress.huffman",
+    "repro.compress.rle",
+}
+
+#: The codec entry-point functions covered by the registry.
+CODEC_FUNCTIONS = {
+    "zippy_compress",
+    "zippy_decompress",
+    "lzo_compress",
+    "lzo_decompress",
+    "huffman_compress",
+    "huffman_decompress",
+    "rle_encode_bytes",
+    "rle_decode_bytes",
+}
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    """The exception class name a ``raise``/``except`` refers to."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Call):
+        return _exception_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@lint_rule
+class RaiseHierarchyRule(LintRule):
+    """REP001: every raise must use the repro.errors hierarchy."""
+
+    code = "REP001"
+    name = "raise-outside-hierarchy"
+    description = (
+        "raise statements in library code must raise repro.errors "
+        "classes (NotImplementedError is allowed for abstract interfaces)"
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                continue  # bare re-raise keeps the original type
+            name = _exception_name(node.exc)
+            if name is None:
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "raise of a dynamic expression; raise a repro.errors "
+                    "class directly so callers can catch ReproError",
+                )
+            elif name not in ALLOWED_RAISES:
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    f"raise {name} is outside the repro.errors hierarchy; "
+                    "use a ReproError subclass",
+                )
+
+
+@lint_rule
+class BroadExceptRule(LintRule):
+    """REP002: no ``except Exception`` / bare ``except`` in the library."""
+
+    code = "REP002"
+    name = "broad-except"
+    description = (
+        "bare except / except Exception swallow corruption signals; "
+        "catch ReproError subclasses (cli.py is exempt as the top-level "
+        "error boundary)"
+    )
+    default_severity = Severity.ERROR
+    exempt_files = ("cli.py",)
+
+    def _broad_names(self, node: ast.expr | None) -> Iterator[str]:
+        if node is None:
+            yield "bare except"
+            return
+        targets = node.elts if isinstance(node, ast.Tuple) else [node]
+        for target in targets:
+            name = _exception_name(target)
+            if name in ("Exception", "BaseException"):
+                yield f"except {name}"
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for label in self._broad_names(node.type):
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    f"{label} in library code; catch specific "
+                    "repro.errors classes",
+                )
+
+
+@lint_rule
+class CodecImportRule(LintRule):
+    """REP003: codecs are resolved via the registry, never imported."""
+
+    code = "REP003"
+    name = "direct-codec-import"
+    description = (
+        "codec entry points (zippy_compress, ...) may only be reached "
+        "through repro.compress.registry outside compress/"
+    )
+    default_severity = Severity.ERROR
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.top_dir() != "compress"
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module not in CODEC_MODULES:
+                    continue
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in CODEC_FUNCTIONS or alias.name == "*"
+                ]
+                if bad:
+                    yield RawFinding(
+                        node.lineno,
+                        node.col_offset,
+                        f"direct import of codec function(s) "
+                        f"{', '.join(bad)} from {node.module}; use "
+                        "repro.compress.registry.get_codec instead",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in CODEC_MODULES:
+                        yield RawFinding(
+                            node.lineno,
+                            node.col_offset,
+                            f"direct import of codec module {alias.name}; "
+                            "use repro.compress.registry.get_codec instead",
+                        )
+
+
+def _is_self_or_cls(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@lint_rule
+class PrivateMutationRule(LintRule):
+    """REP004: no mutation of another module's ``_``-private attributes.
+
+    ColumnChunk / Dictionary internals (``_values``, ``_buf``, ...) are
+    only assignable from the module that defines them. A module "owns"
+    a private attribute when any of its classes assigns it via
+    ``self._attr`` / ``cls._attr``; assignments through any other base
+    expression are flagged unless the attribute is owned locally.
+    """
+
+    code = "REP004"
+    name = "private-mutation"
+    description = (
+        "assignment to a _-prefixed attribute of a non-self object "
+        "outside the attribute's defining module"
+    )
+    default_severity = Severity.ERROR
+
+    def _owned_attrs(self, module: ModuleInfo) -> set[str]:
+        owned: set[str] = set()
+        for node in ast.walk(module.tree):
+            for target in _assignment_targets(node):
+                if (
+                    isinstance(target, ast.Attribute)
+                    and _is_self_or_cls(target.value)
+                    and target.attr.startswith("_")
+                ):
+                    owned.add(target.attr)
+        return owned
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        owned = self._owned_attrs(module)
+        for node in ast.walk(module.tree):
+            for target in _assignment_targets(node):
+                if not isinstance(target, ast.Attribute):
+                    continue
+                attr = target.attr
+                if not attr.startswith("_") or _is_dunder(attr):
+                    continue
+                if _is_self_or_cls(target.value) or attr in owned:
+                    continue
+                yield RawFinding(
+                    target.lineno,
+                    target.col_offset,
+                    f"mutation of private attribute .{attr} from outside "
+                    "its defining module; add a constructor or method "
+                    "instead",
+                )
+
+
+def _assignment_targets(node: ast.AST) -> Iterator[ast.expr]:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield from _flatten_target(target)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        yield from _flatten_target(node.target)
+
+
+def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_target(element)
+    else:
+        yield target
+
+
+@lint_rule
+class AnnotationRule(LintRule):
+    """REP005: public storage/core/formats functions are annotated."""
+
+    code = "REP005"
+    name = "missing-annotations"
+    description = (
+        "public functions in storage/, core/ and formats/ must annotate "
+        "every parameter and the return type"
+    )
+    default_severity = Severity.ERROR
+    only_dirs = ("storage", "core", "formats")
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        yield from self._check_body(module.tree.body, in_class=None)
+
+    def _check_body(
+        self, body: list[ast.stmt], in_class: str | None
+    ) -> Iterator[RawFinding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from self._check_body(node.body, in_class=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = node.name
+                if name.startswith("_") and not _is_dunder(name):
+                    continue
+                yield from self._check_function(node, in_class)
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, in_class: str | None
+    ) -> Iterator[RawFinding]:
+        missing: list[str] = []
+        args = list(node.args.posonlyargs) + list(node.args.args)
+        if in_class is not None and args and args[0].arg in ("self", "cls"):
+            args = args[1:]
+        for arg in args + list(node.args.kwonlyargs):
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            label = f"{in_class}.{node.name}" if in_class else node.name
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"public function {label} missing annotations for: "
+                f"{', '.join(missing)}",
+            )
+
+
+@lint_rule
+class NoPrintRule(LintRule):
+    """REP006: library code must not print; use repro.monitoring."""
+
+    code = "REP006"
+    name = "print-in-library"
+    description = (
+        "print() in library code; report via repro.monitoring or return "
+        "data (the cli modules are exempt as the user-facing surface)"
+    )
+    default_severity = Severity.ERROR
+    exempt_files = ("cli.py", "analysis/cli.py")
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "print() in library code; use repro.monitoring "
+                    "counters/reports instead",
+                )

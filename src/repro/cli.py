@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     python -m repro repl store.pds
     python -m repro info store.pds
     python -m repro demo --rows 50000
+    python -m repro lint src/repro
+    python -m repro fsck store.pds
 
 ``import`` accepts ``.csv``, ``.rio`` (record-io) and ``.cio``
 (column-io) inputs; the schema for the row formats is inferred from a
@@ -17,6 +19,7 @@ CSV header + value sniffing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -217,6 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--rows", type=int, default=50_000)
     p_demo.set_defaults(func=cmd_demo)
 
+    from repro.analysis.cli import configure_fsck_parser, configure_lint_parser
+
+    p_lint = sub.add_parser(
+        "lint", help="run the reprolint static analyzer over source paths"
+    )
+    configure_lint_parser(p_lint)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="verify the structural invariants of a store file"
+    )
+    configure_fsck_parser(p_fsck)
+
     return parser
 
 
@@ -227,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; exit
+        # quietly instead of tracebacking (dup /dev/null over stdout so
+        # interpreter shutdown doesn't re-raise on flush).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 1
 
 

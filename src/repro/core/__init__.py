@@ -22,11 +22,15 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # DataStore lives in a heavier module; import it lazily so the
     # lightweight table types don't drag in the whole engine.
     if name in ("DataStore", "DataStoreOptions", "ScanStats"):
         from repro.core import datastore
 
         return getattr(datastore, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    # The module __getattr__ protocol requires AttributeError for unknown
+    # names; anything else breaks hasattr() on the package.
+    raise AttributeError(  # reprolint: disable=REP001 -- __getattr__ protocol
+        f"module {__name__!r} has no attribute {name!r}"
+    )

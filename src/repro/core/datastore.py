@@ -635,7 +635,7 @@ class DataStore:
             rows.append(row)
         return rows
 
-    def execute_partials(self, query: Query | str):
+    def execute_partials(self, query: Query | str) -> tuple[ScanStats, Any]:
         """Execute the shard-local part of a distributed query.
 
         Returns ``(stats, groups)`` where ``groups`` maps a NULL-safe

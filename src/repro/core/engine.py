@@ -22,13 +22,17 @@ advantage the paper measures in its Query 1/3 experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.sketches.kmv import KmvSketch
 from repro.sql.ast_nodes import Aggregate, Star
+from repro.storage.dictionary import Dictionary
+
+if TYPE_CHECKING:  # imported only for annotations: datastore imports us
+    from repro.core.datastore import FieldStore
 
 
 @dataclass
@@ -93,10 +97,12 @@ class PresenceAggregator(ColumnarAggregator):
         super().__init__(n_groups)
         self.counts = np.zeros(n_groups, dtype=np.int64)
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         return _sparse_bincount(data.masked_group_ids())
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         gids, totals = partial
         self.counts[gids] += totals.astype(np.int64)
 
@@ -120,11 +126,13 @@ class CountValueAggregator(ColumnarAggregator):
             valid = valid & data.mask
         return valid
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         valid = self._valid(data, arg_ids)
         return _sparse_bincount(data.group_ids[valid])
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         gids, totals = partial
         self.counts[gids] += totals.astype(np.int64)
 
@@ -144,7 +152,9 @@ class SumAggregator(ColumnarAggregator):
         self.totals = np.zeros(n_groups, dtype=np.float64)
         self.counts = np.zeros(n_groups, dtype=np.int64)
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         valid = arg_ids != 0 if self.arg_has_null else np.ones(
             arg_ids.shape, dtype=bool
         )
@@ -156,7 +166,7 @@ class SumAggregator(ColumnarAggregator):
         __, counts = _sparse_bincount(group_ids)
         return gids, totals, counts
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         gids, totals, counts = partial
         self.totals[gids] += totals
         self.counts[gids] += counts.astype(np.int64)
@@ -188,14 +198,18 @@ class _ExtremeAggregator(ColumnarAggregator):
 
     _is_min = True
 
-    def __init__(self, n_groups: int, dictionary, arg_has_null: bool) -> None:
+    def __init__(
+        self, n_groups: int, dictionary: Dictionary, arg_has_null: bool
+    ) -> None:
         super().__init__(n_groups)
         self.dictionary = dictionary
         self.arg_has_null = arg_has_null
         sentinel = np.iinfo(np.int64).max if self._is_min else -1
         self.best = np.full(n_groups, sentinel, dtype=np.int64)
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         valid = arg_ids != 0 if self.arg_has_null else np.ones(
             arg_ids.shape, dtype=bool
         )
@@ -218,7 +232,7 @@ class _ExtremeAggregator(ColumnarAggregator):
         lasts[:-1] = sorted_groups[1:] != sorted_groups[:-1]
         return sorted_groups[lasts], sorted_values[lasts]
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         gids, values = partial
         if not gids.size:
             return
@@ -246,13 +260,17 @@ class MaxAggregator(_ExtremeAggregator):
 class CountDistinctAggregator(ColumnarAggregator):
     """Exact COUNT(DISTINCT x) via global (group, value) pair dedup."""
 
-    def __init__(self, n_groups: int, dictionary, arg_has_null: bool) -> None:
+    def __init__(
+        self, n_groups: int, dictionary: Dictionary, arg_has_null: bool
+    ) -> None:
         super().__init__(n_groups)
         self.dictionary = dictionary
         self.arg_has_null = arg_has_null
         self._pair_chunks: list[np.ndarray] = []
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         valid = arg_ids != 0 if self.arg_has_null else np.ones(
             arg_ids.shape, dtype=bool
         )
@@ -263,7 +281,7 @@ class CountDistinctAggregator(ColumnarAggregator):
         ].astype(np.int64)
         return np.unique(pairs)
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         self._pair_chunks.append(partial)
 
     def results(self, present: np.ndarray) -> list[int]:
@@ -293,7 +311,9 @@ class ApproxCountDistinctAggregator(ColumnarAggregator):
         self.m = m
         self._sketches: dict[int, KmvSketch] = {}
 
-    def chunk_partial(self, data: ChunkData, arg_ids: np.ndarray | None):
+    def chunk_partial(
+        self, data: ChunkData, arg_ids: np.ndarray | None
+    ) -> Any:
         valid = arg_ids != 0 if self.arg_has_null else np.ones(
             arg_ids.shape, dtype=bool
         )
@@ -304,7 +324,7 @@ class ApproxCountDistinctAggregator(ColumnarAggregator):
         ].astype(np.int64)
         return np.unique(pairs)
 
-    def apply(self, partial) -> None:
+    def apply(self, partial: Any) -> None:
         if not partial.size:
             return
         groups = (partial >> 32).astype(np.int64)
@@ -332,7 +352,7 @@ class ApproxCountDistinctAggregator(ColumnarAggregator):
 def build_aggregator(
     agg: Aggregate,
     n_groups: int,
-    arg_field,  # FieldStore | None
+    arg_field: "FieldStore | None",
 ) -> ColumnarAggregator:
     """Instantiate the right aggregator for one aggregate expression."""
     if agg.name == "COUNT":
@@ -473,7 +493,9 @@ def _approx_states(
     return out
 
 
-def aggregator_states(aggregator: ColumnarAggregator, present: np.ndarray):
+def aggregator_states(
+    aggregator: ColumnarAggregator, present: np.ndarray
+) -> list[Any]:
     """Per-present-group mergeable AggStates for any aggregator."""
     if isinstance(aggregator, CountValueAggregator):
         return _count_value_states(aggregator, present)

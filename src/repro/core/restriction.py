@@ -201,7 +201,11 @@ class _Not(_Node):
 class Restriction:
     """A compiled WHERE clause, ready for per-chunk decisions."""
 
-    def __init__(self, root: _Node | None, element_arrays) -> None:
+    def __init__(
+        self,
+        root: _Node | None,
+        element_arrays: Callable[[str, int], np.ndarray],
+    ) -> None:
         self._root = root
         self._element_arrays = element_arrays
 

@@ -64,3 +64,7 @@ class DistributedError(ReproError):
 
 class TableError(ReproError):
     """An in-memory table was constructed or accessed incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """The lint/fsck tooling was misconfigured or given bad input."""

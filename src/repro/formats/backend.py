@@ -10,6 +10,7 @@ memory for the query — the quantity Table 1 compares.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 
 from repro.core.result import QueryResult, ScanStats
 from repro.core.table import Schema, Table
@@ -33,7 +34,7 @@ class Backend:
     def schema(self) -> Schema:
         raise NotImplementedError
 
-    def scan_rows(self, query: Query):
+    def scan_rows(self, query: Query) -> Iterator[tuple]:
         """Iterate row tuples in schema order (a full scan)."""
         raise NotImplementedError
 

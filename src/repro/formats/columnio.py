@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+from collections.abc import Iterator
 
 from repro.compress.registry import get_codec
 from repro.compress.varint import (
@@ -207,7 +208,7 @@ class ColumnIoBackend(Backend):
         return [name for name in self._order if name in names]
 
     # -- Backend contract --------------------------------------------------------
-    def scan_rows(self, query: Query | None):
+    def scan_rows(self, query: Query | None) -> Iterator[tuple]:
         referenced = self._referenced_columns(query)
         decoded = {name: self.read_column(name) for name in referenced}
         for row_index in range(self._n_rows):

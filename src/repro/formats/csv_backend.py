@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import csv
 import os
+from collections.abc import Iterator
 
 from repro.core.table import DataType, Schema, Table
 from repro.errors import TableError
@@ -72,7 +73,7 @@ class CsvBackend(Backend):
     def schema(self) -> Schema:
         return self._schema
 
-    def scan_rows(self, query: Query | None):
+    def scan_rows(self, query: Query | None) -> Iterator[tuple]:
         dtypes = [self._schema.dtype(name) for name in self._schema.field_names]
         with open(self._path, newline="", encoding="utf-8") as handle:
             reader = csv.reader(handle)

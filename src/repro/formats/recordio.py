@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import struct
+from collections.abc import Iterator
 
 from repro.compress.varint import (
     decode_varint,
@@ -85,7 +86,7 @@ class RecordIoBackend(Backend):
     def schema(self) -> Schema:
         return self._schema
 
-    def scan_rows(self, query: Query | None):
+    def scan_rows(self, query: Query | None) -> Iterator[tuple]:
         names = self._schema.field_names
         n_fields = len(names)
         with open(self._path, "rb") as handle:

@@ -5,6 +5,11 @@ cells per click, the skipped/cached/scanned split, in-memory query
 share, and latency distributions. :class:`QueryLogCollector` gathers
 the same quantities from any stream of executed queries so examples,
 benches and deployments can print a "Section 6" report of their own.
+
+The module also hosts the process-wide :data:`counters` registry —
+named monotonically increasing counters that subsystems (the
+``repro.analysis`` lint/fsck tooling, caches, ...) bump as they work,
+so operational tooling has one place to read activity from.
 """
 
 from __future__ import annotations
@@ -13,6 +18,38 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.result import QueryResult, ScanStats
+
+
+class CounterRegistry:
+    """Named monotonic counters, keyed by dotted names.
+
+    A deliberately tiny stand-in for a production metrics client:
+    ``increment`` never fails on unknown names, ``snapshot`` returns a
+    stable copy for reporting, and ``reset`` exists for tests.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to ``name`` (creating it at 0), return the total."""
+        total = self._counts.get(name, 0) + amount
+        self._counts[name] = total
+        return total
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A sorted copy of every counter's current value."""
+        return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+#: The process-wide counter registry.
+counters = CounterRegistry()
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:

@@ -13,20 +13,36 @@ Virtual fields are intentionally not persisted: they re-materialize
 lazily from the originals (Section 5's "computed once on first
 access"), and their canonical-SQL keys are environment-independent.
 
-File layout::
+File layout (format 2)::
 
-    magic 'PDS1'
+    magic 'PDS2'
+    crc32(everything after this word)  # 4 bytes little-endian
     varint(header_len) header-JSON     # options, schema, per-field meta
     per field, in header order:
         varint(dict_payload_len) dict_payload
         per chunk:
             chunk-dict: varint(n) then n delta varints
             elements:   tag(1) varint(n_rows) varint(payload_len) payload
+
+The checksum makes corruption detection exact: any bit flip or
+truncation after the magic word fails the CRC before parsing begins,
+so :func:`load_store` raises :class:`~repro.errors.StorageError`
+instead of returning silently wrong data. Format-1 files (magic
+``PDS1``, no checksum) still load. Every parse failure — bad magic,
+checksum mismatch, truncated payloads, malformed headers — surfaces as
+``StorageError`` so callers (and ``repro fsck``) can rely on one
+exception family.
+
+The per-piece codecs (:func:`encode_chunk_dict`,
+:func:`encode_elements`, :func:`encode_dictionary` and their decode
+twins) are public: :mod:`repro.analysis.fsck` uses them to round-trip
+every chunk of a live store when verifying the invariant catalog.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 
 import numpy as np
 
@@ -48,7 +64,8 @@ from repro.storage.elements import (
 )
 from repro.storage.trie import TrieDictionary
 
-_MAGIC = b"PDS1"
+_MAGIC = b"PDS2"
+_MAGIC_V1 = b"PDS1"
 
 _ELEMENT_TAGS = {"constant": 0, "bitset": 1, "packed": 2}
 _TAG_TO_NAME = {tag: name for name, tag in _ELEMENT_TAGS.items()}
@@ -57,7 +74,8 @@ _TAG_TO_NAME = {tag: name for name, tag in _ELEMENT_TAGS.items()}
 # -- element payloads -----------------------------------------------------------
 
 
-def _encode_elements(elements: Elements) -> bytes:
+def encode_elements(elements: Elements) -> bytes:
+    """Serialize one elements array (tag + row count + payload)."""
     name = elements.encoding_name
     out = bytearray([_ELEMENT_TAGS[name]])
     out += encode_varint(elements.n_rows)
@@ -75,13 +93,19 @@ def _encode_elements(elements: Elements) -> bytes:
     return bytes(out)
 
 
-def _decode_elements(data: bytes, pos: int) -> tuple[Elements, int]:
+def decode_elements(data: bytes, pos: int) -> tuple[Elements, int]:
+    """Parse one elements array; returns it and the next read position."""
     tag = data[pos]
     pos += 1
     n_rows, pos = decode_varint(data, pos)
     width = data[pos]
     pos += 1
     payload_len, pos = decode_varint(data, pos)
+    if pos + payload_len > len(data):
+        raise StorageError(
+            f"elements payload truncated: need {payload_len} bytes, "
+            f"{len(data) - pos} left"
+        )
     payload = bytes(data[pos : pos + payload_len])
     pos += payload_len
     name = _TAG_TO_NAME.get(tag)
@@ -106,7 +130,8 @@ def _decode_elements(data: bytes, pos: int) -> tuple[Elements, int]:
 # -- chunk dictionaries -----------------------------------------------------------
 
 
-def _encode_chunk_dict(chunk_dict: np.ndarray) -> bytes:
+def encode_chunk_dict(chunk_dict: np.ndarray) -> bytes:
+    """Serialize a chunk-dictionary as delta varints."""
     out = bytearray(encode_varint(int(chunk_dict.size)))
     previous = 0
     for gid in chunk_dict:
@@ -115,7 +140,8 @@ def _encode_chunk_dict(chunk_dict: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def _decode_chunk_dict(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+def decode_chunk_dict(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+    """Parse a chunk-dictionary; returns it and the next read position."""
     count, pos = decode_varint(data, pos)
     gids = np.empty(count, dtype=np.uint32)
     value = 0
@@ -129,7 +155,8 @@ def _decode_chunk_dict(data: bytes, pos: int) -> tuple[np.ndarray, int]:
 # -- global dictionaries ------------------------------------------------------------
 
 
-def _dictionary_meta(dictionary: Dictionary) -> dict:
+def dictionary_meta(dictionary: Dictionary) -> dict:
+    """Header metadata needed to decode ``dictionary``'s payload."""
     meta = {"kind": dictionary.kind, "has_null": dictionary.has_null}
     if isinstance(dictionary, NumericDictionary):
         meta["n_values"] = dictionary._n_non_null
@@ -140,11 +167,13 @@ def _dictionary_meta(dictionary: Dictionary) -> dict:
     return meta
 
 
-def _encode_dictionary(dictionary: Dictionary) -> bytes:
+def encode_dictionary(dictionary: Dictionary) -> bytes:
+    """Serialize a global dictionary's payload."""
     return dictionary.to_bytes()
 
 
-def _decode_dictionary(meta: dict, payload: bytes) -> Dictionary:
+def decode_dictionary(meta: dict, payload: bytes) -> Dictionary:
+    """Rebuild a global dictionary from header meta + payload bytes."""
     kind = meta["kind"]
     has_null = meta["has_null"]
     if kind == "string":
@@ -153,6 +182,8 @@ def _decode_dictionary(meta: dict, payload: bytes) -> Dictionary:
         while pos < len(payload):
             length = int.from_bytes(payload[pos : pos + 4], "little")
             pos += 4
+            if pos + length > len(payload):
+                raise StorageError("string dictionary payload truncated")
             values.append(payload[pos : pos + length].decode("utf-8"))
             pos += length
         return SortedStringDictionary(values, has_null=has_null)
@@ -177,7 +208,7 @@ def _decode_dictionary(meta: dict, payload: bytes) -> Dictionary:
     raise StorageError(f"cannot load dictionary kind {kind!r}")
 
 
-def _width_dtype(payload: bytes, n: int):
+def _width_dtype(payload: bytes, n: int) -> type:
     width = (len(payload) - 8) // max(n, 1)
     dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}.get(width)
     if dtype is None:
@@ -211,36 +242,69 @@ def save_store(store: DataStore, path: str) -> int:
         "fields": [
             {
                 "name": name,
-                "dictionary": _dictionary_meta(store.field(name).dictionary),
+                "dictionary": dictionary_meta(store.field(name).dictionary),
             }
             for name in field_names
         ],
     }
-    blob = bytearray()
-    blob += _MAGIC
+    body = bytearray()
     header_bytes = json.dumps(header).encode("utf-8")
-    blob += encode_varint(len(header_bytes))
-    blob += header_bytes
+    body += encode_varint(len(header_bytes))
+    body += header_bytes
     for name in field_names:
         field = store.field(name)
-        dict_payload = _encode_dictionary(field.dictionary)
-        blob += encode_varint(len(dict_payload))
-        blob += dict_payload
+        dict_payload = encode_dictionary(field.dictionary)
+        body += encode_varint(len(dict_payload))
+        body += dict_payload
         for chunk in field.chunks:
-            blob += _encode_chunk_dict(chunk.chunk_dict)
-            blob += _encode_elements(chunk.elements)
+            body += encode_chunk_dict(chunk.chunk_dict)
+            body += encode_elements(chunk.elements)
+    blob = bytearray(_MAGIC)
+    blob += zlib.crc32(bytes(body)).to_bytes(4, "little")
+    blob += body
     with open(path, "wb") as handle:
         handle.write(bytes(blob))
     return len(blob)
 
 
 def load_store(path: str) -> DataStore:
-    """Load a store written by :func:`save_store`."""
+    """Load a store written by :func:`save_store`.
+
+    Raises :class:`~repro.errors.StorageError` on any corruption: bad
+    magic, checksum mismatch, truncation, or malformed payloads.
+    """
     with open(path, "rb") as handle:
         data = handle.read()
-    if data[:4] != _MAGIC:
-        raise StorageError(f"not a datastore file: magic {data[:4]!r}")
-    header_len, pos = decode_varint(data, 4)
+    magic = data[:4]
+    if magic == _MAGIC:
+        if len(data) < 8:
+            raise StorageError("store file truncated before checksum")
+        expected_crc = int.from_bytes(data[4:8], "little")
+        actual_crc = zlib.crc32(data[8:])
+        if actual_crc != expected_crc:
+            raise StorageError(
+                f"store file checksum mismatch: header says "
+                f"{expected_crc:#010x}, contents hash to {actual_crc:#010x} "
+                "— the file is corrupt or truncated"
+            )
+        pos = 8
+    elif magic == _MAGIC_V1:
+        pos = 4  # legacy format: no checksum to verify
+    else:
+        raise StorageError(f"not a datastore file: magic {magic!r}")
+    try:
+        return _parse_store_body(data, pos)
+    except (IndexError, ValueError, KeyError, UnicodeDecodeError) as error:
+        raise StorageError(
+            f"store file is structurally corrupt: {type(error).__name__}: "
+            f"{error}"
+        ) from error
+
+
+def _parse_store_body(data: bytes, pos: int) -> DataStore:
+    header_len, pos = decode_varint(data, pos)
+    if pos + header_len > len(data):
+        raise StorageError("store header truncated")
     header = json.loads(data[pos : pos + header_len].decode("utf-8"))
     pos += header_len
 
@@ -261,14 +325,18 @@ def load_store(path: str) -> DataStore:
     for field_meta in header["fields"]:
         name = field_meta["name"]
         dict_len, pos = decode_varint(data, pos)
-        dictionary = _decode_dictionary(
+        if pos + dict_len > len(data):
+            raise StorageError(
+                f"field {name!r}: dictionary payload truncated"
+            )
+        dictionary = decode_dictionary(
             field_meta["dictionary"], bytes(data[pos : pos + dict_len])
         )
         pos += dict_len
         chunks = []
         for expected_rows in chunk_row_counts:
-            chunk_dict, pos = _decode_chunk_dict(data, pos)
-            elements, pos = _decode_elements(data, pos)
+            chunk_dict, pos = decode_chunk_dict(data, pos)
+            elements, pos = decode_elements(data, pos)
             if elements.n_rows != expected_rows:
                 raise StorageError(
                     f"field {name!r}: chunk has {elements.n_rows} rows, "

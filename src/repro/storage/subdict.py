@@ -23,12 +23,16 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import DictionaryError
 from repro.storage.bloom import BloomFilter
 from repro.storage.dictionary import Dictionary
+
+if TYPE_CHECKING:  # annotation-only: core.datastore imports storage modules
+    from repro.core.datastore import FieldStore
 
 
 @dataclass
@@ -125,7 +129,7 @@ class SubDictionarySet:
     @classmethod
     def from_field(
         cls,
-        field,
+        field: "FieldStore",
         hot_fraction: float = 0.1,
         group_size: int = 8,
         bloom_fpp: float = 0.01,

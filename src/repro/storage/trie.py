@@ -170,7 +170,9 @@ class TrieDictionary(Dictionary):
         return cls(bytes(out), len(values), has_null=has_null)
 
     @classmethod
-    def from_values(cls, values, has_null: bool | None = None) -> "TrieDictionary":
+    def from_values(
+        cls, values: Sequence[Any], has_null: bool | None = None
+    ) -> "TrieDictionary":
         """Build from arbitrary (unsorted, possibly null) values."""
         distinct = set(values)
         null_seen = None in distinct

@@ -74,13 +74,15 @@ def assert_results_equal(
 ) -> None:
     """Assert row-list equality with a helpful diff on failure."""
     if len(rows_a) != len(rows_b):
-        raise AssertionError(
+        # Test helpers must raise AssertionError so pytest renders the
+        # failure as an assertion, not a library error.
+        raise AssertionError(  # reprolint: disable=REP001 -- test assertion
             f"{context}: {len(rows_a)} rows vs {len(rows_b)} rows\n"
             f"  a: {list(rows_a)[:5]}\n  b: {list(rows_b)[:5]}"
         )
     for index, (a, b) in enumerate(zip(rows_a, rows_b)):
         if not rows_equal(a, b, rel_tol=rel_tol, abs_tol=abs_tol):
-            raise AssertionError(
+            raise AssertionError(  # reprolint: disable=REP001 -- test assertion
                 f"{context}: rows differ at index {index}:\n"
                 f"  a: {a}\n  b: {b}"
             )

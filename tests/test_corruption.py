@@ -1,0 +1,117 @@
+"""Bit-flip fuzzing of the store file format.
+
+The PDS2 format carries a whole-body CRC32, so *any* single-bit
+corruption of a saved store must surface as a StorageError (or an
+FSCK010 finding via fsck_file) — never as a successfully-loaded store
+with silently wrong data.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import fsck_file
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.errors import StorageError
+from repro.storage.serde import load_store, save_store
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+_N_FLIPS = 60
+_SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def saved_store(tmp_path_factory):
+    table = generate_query_logs(
+        LogsConfig(n_rows=600, n_days=15, n_teams=6, seed=21)
+    )
+    store = DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=128,
+            reorder_rows=True,
+        ),
+    )
+    path = tmp_path_factory.mktemp("corruption") / "store.pds"
+    save_store(store, str(path))
+    return store, str(path), path.read_bytes()
+
+
+def _flip_bit(blob: bytes, position: int, bit: int) -> bytes:
+    corrupted = bytearray(blob)
+    corrupted[position] ^= 1 << bit
+    return bytes(corrupted)
+
+
+def test_pristine_file_loads(saved_store):
+    store, path, _ = saved_store
+    loaded = load_store(path)
+    assert loaded.n_rows == store.n_rows
+
+
+def test_every_single_bit_flip_is_detected(saved_store, tmp_path):
+    _, _, blob = saved_store
+    rng = random.Random(_SEED)
+    target = tmp_path / "flipped.pds"
+    positions = [
+        (rng.randrange(len(blob)), rng.randrange(8)) for _ in range(_N_FLIPS)
+    ]
+    # Always include the tricky regions: magic, checksum field, first
+    # body byte and the final byte.
+    positions += [(0, 0), (4, 7), (8, 0), (len(blob) - 1, 3)]
+    for position, bit in positions:
+        target.write_bytes(_flip_bit(blob, position, bit))
+        with pytest.raises(StorageError):
+            load_store(str(target))
+
+
+def test_bit_flips_surface_as_fsck_findings(saved_store, tmp_path):
+    _, _, blob = saved_store
+    rng = random.Random(_SEED + 1)
+    target = tmp_path / "flipped.pds"
+    for _ in range(10):
+        position, bit = rng.randrange(len(blob)), rng.randrange(8)
+        target.write_bytes(_flip_bit(blob, position, bit))
+        report = fsck_file(str(target))
+        assert report.codes() == {"FSCK010"}, (position, bit)
+
+
+def test_truncation_is_detected(saved_store, tmp_path):
+    _, _, blob = saved_store
+    rng = random.Random(_SEED + 2)
+    target = tmp_path / "short.pds"
+    lengths = [0, 1, 4, 7, 8, len(blob) - 1] + [
+        rng.randrange(9, len(blob)) for _ in range(10)
+    ]
+    for length in lengths:
+        target.write_bytes(blob[:length])
+        with pytest.raises(StorageError):
+            load_store(str(target))
+
+
+def test_extra_trailing_bytes_detected(saved_store, tmp_path):
+    # Appended garbage changes the body the checksum covers.
+    _, _, blob = saved_store
+    target = tmp_path / "padded.pds"
+    target.write_bytes(blob + b"\x00\x00\x00\x00")
+    with pytest.raises(StorageError):
+        load_store(str(target))
+
+
+def test_corruption_never_yields_wrong_data(saved_store, tmp_path):
+    """The property the CRC buys: loads either succeed with identical
+    query results or raise — flipped files never return wrong rows."""
+    store, _, blob = saved_store
+    sql = "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c"
+    expected = store.execute(sql).rows()
+    rng = random.Random(_SEED + 3)
+    target = tmp_path / "maybe.pds"
+    for _ in range(15):
+        position, bit = rng.randrange(len(blob)), rng.randrange(8)
+        target.write_bytes(_flip_bit(blob, position, bit))
+        try:
+            loaded = load_store(str(target))
+        except StorageError:
+            continue
+        assert loaded.execute(sql).rows() == expected

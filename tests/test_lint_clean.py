@@ -1,0 +1,42 @@
+"""The zero-findings CI gate: reprolint over ``src/repro`` must be clean.
+
+This is a tier-1 test. Any new finding — a foreign exception type, a
+broad except, a direct codec import, a cross-module private mutation,
+a missing annotation in storage/core/formats, a stray print() — fails
+the suite until it is fixed or explicitly suppressed with a
+``# reprolint: disable=REP00x -- reason`` comment.
+"""
+
+import os
+
+from repro.analysis import run_lint
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro"
+)
+
+
+def test_source_tree_exists():
+    assert os.path.isdir(_SRC), _SRC
+
+
+def test_reprolint_clean():
+    report = run_lint([_SRC])
+    assert report.items_checked > 40, "lint walked suspiciously few files"
+    assert report.ok, "\n" + report.to_text()
+
+
+def test_cli_gate_exit_code():
+    # The same gate through the CLI surface `repro lint` (exit 0 = clean).
+    from repro.analysis.cli import cmd_lint
+
+    import argparse
+
+    namespace = argparse.Namespace(
+        paths=[_SRC],
+        format="text",
+        select=None,
+        severity=[],
+        list_rules=False,
+    )
+    assert cmd_lint(namespace) == 0

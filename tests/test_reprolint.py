@@ -1,0 +1,444 @@
+"""Unit tests for the reprolint rules, suppressions and output formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity, all_rules, get_rule, run_lint
+from repro.errors import AnalysisError
+
+
+def lint_snippet(tmp_path, source, rel_path="mod.py", select=None, **kwargs):
+    """Write ``source`` at ``rel_path`` under a tmp root and lint the root.
+
+    ``rel_path`` controls the path-scoping rules see (top-level dir,
+    exempt file names), so tests can place snippets 'inside' storage/,
+    compress/ or cli.py.
+    """
+    target = tmp_path / rel_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint([str(tmp_path)], select=select, **kwargs)
+
+
+class TestRaiseHierarchy:
+    def test_foreign_exception_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise ValueError("nope")
+            """,
+            select=["REP001"],
+        )
+        assert report.codes() == {"REP001"}
+        assert "ValueError" in report.findings[0].message
+
+    def test_repro_errors_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.errors import StorageError
+
+            def f():
+                raise StorageError("corrupt")
+            """,
+            select=["REP001"],
+        )
+        assert report.ok
+
+    def test_bare_reraise_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    g()
+                except KeyError:
+                    raise
+            """,
+            select=["REP001"],
+        )
+        assert report.ok
+
+    def test_not_implemented_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise NotImplementedError
+            """,
+            select=["REP001"],
+        )
+        assert report.ok
+
+    def test_dynamic_raise_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(error):
+                raise error
+            """,
+            select=["REP001"],
+        )
+        assert report.codes() == {"REP001"}
+
+
+class TestBroadExcept:
+    def test_except_exception_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            try:
+                f()
+            except Exception:
+                pass
+            """,
+            select=["REP002"],
+        )
+        assert report.codes() == {"REP002"}
+
+    def test_bare_except_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            try:
+                f()
+            except:
+                pass
+            """,
+            select=["REP002"],
+        )
+        assert report.codes() == {"REP002"}
+
+    def test_tuple_with_exception_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            try:
+                f()
+            except (ValueError, Exception):
+                pass
+            """,
+            select=["REP002"],
+        )
+        assert report.codes() == {"REP002"}
+
+    def test_narrow_except_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            try:
+                f()
+            except (ValueError, KeyError):
+                pass
+            """,
+            select=["REP002"],
+        )
+        assert report.ok
+
+    def test_cli_module_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            try:
+                f()
+            except Exception:
+                pass
+            """,
+            rel_path="cli.py",
+            select=["REP002"],
+        )
+        assert report.ok
+
+
+class TestCodecImports:
+    def test_direct_codec_import_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.compress.zippy import zippy_compress
+            """,
+            select=["REP003"],
+        )
+        assert report.codes() == {"REP003"}
+
+    def test_registry_import_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.compress import compress, decompress
+            """,
+            select=["REP003"],
+        )
+        assert report.ok
+
+    def test_compress_package_itself_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.compress.huffman import huffman_compress
+            """,
+            rel_path="compress/registry.py",
+            select=["REP003"],
+        )
+        assert report.ok
+
+
+class TestPrivateMutation:
+    def test_foreign_private_write_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(store):
+                store._cache = {}
+            """,
+            select=["REP004"],
+        )
+        assert report.codes() == {"REP004"}
+
+    def test_self_write_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class C:
+                def __init__(self):
+                    self._cache = {}
+            """,
+            select=["REP004"],
+        )
+        assert report.ok
+
+    def test_owned_attr_constructor_pattern_allowed(self, tmp_path):
+        # A classmethod constructor poking an instance of its own class
+        # (the bitset.py pattern) is fine: the module owns the attr.
+        report = lint_snippet(
+            tmp_path,
+            """
+            class BitSet:
+                def __init__(self):
+                    self._buf = bytearray()
+
+                @classmethod
+                def from_bits(cls, bits):
+                    out = cls.__new__(cls)
+                    out._buf = bytearray(bits)
+                    return out
+            """,
+            select=["REP004"],
+        )
+        assert report.ok
+
+    def test_dunder_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(obj):
+                obj.__dict__ = {}
+            """,
+            select=["REP004"],
+        )
+        assert report.ok
+
+
+class TestAnnotations:
+    def test_unannotated_public_function_in_storage_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def encode(values):
+                return bytes(values)
+            """,
+            rel_path="storage/codec.py",
+            select=["REP005"],
+        )
+        assert report.codes() == {"REP005"}
+
+    def test_fully_annotated_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def encode(values: list) -> bytes:
+                return bytes(values)
+
+            class Store:
+                def get(self, key: str) -> int:
+                    return 0
+            """,
+            rel_path="storage/codec.py",
+            select=["REP005"],
+        )
+        assert report.ok
+
+    def test_private_function_skipped(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def _helper(values):
+                return values
+            """,
+            rel_path="core/util.py",
+            select=["REP005"],
+        )
+        assert report.ok
+
+    def test_other_directories_not_in_scope(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def loose(values):
+                return values
+            """,
+            rel_path="workload/gen.py",
+            select=["REP005"],
+        )
+        assert report.ok
+
+
+class TestNoPrint:
+    def test_print_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                print("debugging")
+            """,
+            select=["REP006"],
+        )
+        assert report.codes() == {"REP006"}
+
+    def test_cli_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            print("usage: ...")
+            """,
+            rel_path="cli.py",
+            select=["REP006"],
+        )
+        assert report.ok
+
+
+class TestSuppressions:
+    def test_line_suppression_silences(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise ValueError("x")  # reprolint: disable=REP001 -- test
+            """,
+            select=["REP001"],
+        )
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_suppression_on_other_line_does_not_apply(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            # reprolint: disable=REP001 -- wrong line
+            def f():
+                raise ValueError("x")
+            """,
+            select=["REP001"],
+        )
+        assert report.codes() == {"REP001"}
+
+    def test_file_suppression_silences_whole_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            # reprolint: disable-file=REP006 -- demo module
+            print("one")
+            print("two")
+            """,
+            select=["REP006"],
+        )
+        assert report.ok
+        assert report.suppressed == 2
+
+    def test_suppressing_one_code_leaves_others(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                print("x"); raise ValueError("y")  # reprolint: disable=REP006
+            """,
+            select=["REP001", "REP006"],
+        )
+        assert report.codes() == {"REP001"}
+        assert report.suppressed == 1
+
+
+class TestEngine:
+    def test_registry_is_complete_and_ordered(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"} <= (
+            set(codes)
+        )
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(AnalysisError):
+            get_rule("REP999")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError):
+            run_lint(["/nonexistent/lint/root"])
+
+    def test_severity_override(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                print("x")
+            """,
+            select=["REP006"],
+            severity_overrides={"REP006": Severity.WARNING},
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].severity is Severity.WARNING
+        assert not report.has_errors
+
+    def test_severity_override_unknown_code_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            lint_snippet(
+                tmp_path,
+                "x = 1\n",
+                severity_overrides={"NOPE01": Severity.ERROR},
+            )
+
+    def test_json_output_shape(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise ValueError("x")
+            """,
+            select=["REP001"],
+        )
+        payload = json.loads(report.to_json())
+        assert payload["tool"] == "reprolint"
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "REP001"
+        assert payload["findings"][0]["severity"] == "error"
+        assert "mod.py" in payload["findings"][0]["where"]
+
+    def test_findings_carry_location(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise ValueError("x")
+            """,
+            select=["REP001"],
+        )
+        where = report.findings[0].where
+        assert where.startswith("mod.py:")
+        line = int(where.split(":")[1])
+        assert line == 3  # dedented snippet keeps the leading newline
+
+    def test_syntax_error_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            lint_snippet(tmp_path, "def broken(:\n")

@@ -1,0 +1,65 @@
+"""Parallel chunk-scan executor + bounded chunk-result cache (PR 2).
+
+Not a paper table — this is the first point of the repo's own perf
+trajectory: `BENCH_PR2.json` records serial-vs-parallel scan timings
+per worker count and hit/miss/eviction behaviour per cache policy, so
+later PRs can diff against it.
+
+What is asserted unconditionally (correctness, not speed):
+
+- parallel results are identical to serial at every worker count;
+- the chunk cache stays within its byte budget while still producing
+  hits under eviction pressure.
+
+The ≥1.5x speedup criterion only makes sense with cores to spread
+over: the GIL-releasing numpy kernels cannot beat serial on a
+single-CPU box, where the thread pool is pure overhead. The speedup
+assertion is therefore gated on ``os.cpu_count() >= 4``; the measured
+numbers are recorded in the JSON either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import BENCH_ROWS, RESULTS_DIR, emit_report
+from repro.workload.benchscan import (
+    ScanBenchConfig,
+    render_scan_report,
+    run_scan_bench,
+)
+
+WORKER_SWEEP = (1, 2, 4)
+
+
+def test_parallel_scan_trajectory():
+    config = ScanBenchConfig(
+        rows=BENCH_ROWS,
+        workers=WORKER_SWEEP,
+        policies=("lru", "2q", "arc"),
+        repeats=3,
+    )
+    report = run_scan_bench(config)
+    report["pr"] = 2
+
+    emit_report("parallel_scan", render_scan_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR2.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Correctness gates — these hold on any machine.
+    assert report["results_identical_to_serial"]
+    for entry in report["cache_policies"]:
+        assert entry["resident_bytes"] <= entry["capacity_bytes"]
+        assert entry["evictions"] > 0
+        assert entry["hits"] > 0
+
+    # Speedup gate — only meaningful with real cores to fan out over.
+    if (os.cpu_count() or 1) >= 4:
+        at_four = next(
+            point for point in report["sweep"] if point["workers"] == 4
+        )
+        assert at_four["speedup_vs_serial"] >= 1.5

@@ -69,6 +69,15 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "library output goes through repro.monitoring so deployments "
         "control reporting",
     ),
+    CatalogEntry(
+        "REP007",
+        "chunk-partial-mutates-self",
+        "chunk_partial implementations never assign through self or "
+        "call mutating container methods on self attributes",
+        "the parallel executor runs chunk_partial concurrently across "
+        "worker threads; mutable aggregator state is only safe in "
+        "apply() on the merge thread",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

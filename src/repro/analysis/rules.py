@@ -16,6 +16,9 @@ invariants enforceable:
   annotations.
 - REP006 — library code reports through :mod:`repro.monitoring`, not
   ``print``.
+- REP007 — ``chunk_partial`` implementations never mutate ``self``:
+  the parallel executor calls them concurrently; mutable state belongs
+  in ``apply()`` on the merge thread.
 """
 
 from __future__ import annotations
@@ -310,6 +313,97 @@ class AnnotationRule(LintRule):
                 f"public function {label} missing annotations for: "
                 f"{', '.join(missing)}",
             )
+
+
+#: Method names that mutate the common containers aggregators hold
+#: (lists, sets, dicts) — calling one on a ``self`` attribute inside
+#: ``chunk_partial`` is a thread-safety violation.
+MUTATING_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+
+def _attribute_root(node: ast.expr) -> ast.expr:
+    """Strip attribute/subscript chains: self.x[k].y -> the Name self."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+@lint_rule
+class ChunkPartialMutationRule(LintRule):
+    """REP007: ``chunk_partial`` must not mutate ``self``.
+
+    The parallel executor (:mod:`repro.core.executor`) calls
+    ``chunk_partial`` concurrently from worker threads; the aggregator
+    contract keeps all mutable state in ``apply()``, which runs on the
+    merge thread in deterministic chunk order. Any class defining a
+    ``chunk_partial`` method is held to the contract: no assignment to
+    (or through) a ``self`` attribute, and no calls to mutating
+    container methods on ``self`` attributes, inside that method.
+    """
+
+    code = "REP007"
+    name = "chunk-partial-mutates-self"
+    description = (
+        "chunk_partial implementations must be read-only on self; "
+        "mutable aggregator state belongs in apply() on the merge thread"
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "chunk_partial"
+                ):
+                    yield from self._check_method(node.name, item)
+
+    def _check_method(
+        self, class_name: str, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[RawFinding]:
+        for node in ast.walk(method):
+            for target in _assignment_targets(node):
+                root = _attribute_root(target)
+                if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                    _is_self_or_cls(root)
+                ):
+                    yield RawFinding(
+                        target.lineno,
+                        target.col_offset,
+                        f"{class_name}.chunk_partial assigns through self; "
+                        "move mutable state into apply() (REP007 "
+                        "executor thread-safety contract)",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+                and isinstance(node.func.value, (ast.Attribute, ast.Subscript))
+                and _is_self_or_cls(_attribute_root(node.func.value))
+            ):
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    f"{class_name}.chunk_partial calls mutating "
+                    f".{node.func.attr}() on a self attribute; move "
+                    "mutable state into apply() (REP007 executor "
+                    "thread-safety contract)",
+                )
 
 
 @lint_rule

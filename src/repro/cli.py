@@ -116,8 +116,46 @@ def cmd_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_runtime_flags(store: DataStore, args: argparse.Namespace) -> None:
+    """Apply --workers/--cache-policy/--cache-capacity-kb to a store."""
+    overrides: dict = {}
+    if getattr(args, "workers", None) is not None:
+        overrides["executor"] = "serial" if args.workers <= 1 else "parallel"
+        overrides["workers"] = max(1, args.workers)
+    if getattr(args, "cache_policy", None) is not None:
+        overrides["cache_policy"] = args.cache_policy
+    if getattr(args, "cache_capacity_kb", None) is not None:
+        overrides["cache_capacity_bytes"] = args.cache_capacity_kb * 1024.0
+    if overrides:
+        store.configure_runtime(**overrides)
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.storage.cache import policy_names
+
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="scan worker threads (>1 switches to the parallel executor)",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        choices=policy_names(),
+        default=None,
+        help="chunk-result cache eviction policy",
+    )
+    parser.add_argument(
+        "--cache-capacity-kb",
+        type=float,
+        default=None,
+        help="chunk-result cache capacity in KB",
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     store = load_store(args.store)
+    _apply_runtime_flags(store, args)
     result = store.execute(args.sql)
     _print_result(result, show_stats=not args.quiet)
     return 0
@@ -125,6 +163,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_repl(args: argparse.Namespace) -> int:
     store = load_store(args.store)
+    _apply_runtime_flags(store, args)
     print(
         f"loaded {store.n_rows} rows in {store.n_chunks} chunks; "
         f"fields: {sorted(n for n, f in store.fields.items() if not f.virtual)}"
@@ -176,10 +215,42 @@ def cmd_demo(args: argparse.Namespace) -> int:
             reorder_rows=True,
         ),
     )
+    _apply_runtime_flags(store, args)
     for sql in paper_queries():
         print(f"\n-- {sql}")
         store.execute(sql)  # warm
         _print_result(store.execute(sql), show_stats=True)
+    cache = store.chunk_cache_stats()
+    print(
+        f"\nchunk-result cache: {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate:.1%} hit rate), {cache.evictions} evictions"
+    )
+    return 0
+
+
+def cmd_bench_scan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.benchscan import (
+        ScanBenchConfig,
+        render_scan_report,
+        run_scan_bench,
+    )
+
+    config = ScanBenchConfig(
+        rows=args.rows,
+        workers=tuple(int(w) for w in args.workers.split(",")),
+        policies=tuple(args.policies.split(",")),
+        repeats=args.repeats,
+        cache_trace_steps=args.trace_steps,
+    )
+    report = run_scan_bench(config)
+    print("\n".join(render_scan_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
     return 0
 
 
@@ -206,10 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("store", help="store file (.pds)")
     p_query.add_argument("sql", help="the SELECT statement")
     p_query.add_argument("--quiet", action="store_true", help="rows only")
+    _add_runtime_flags(p_query)
     p_query.set_defaults(func=cmd_query)
 
     p_repl = sub.add_parser("repl", help="interactive SQL prompt")
     p_repl.add_argument("store", help="store file (.pds)")
+    _add_runtime_flags(p_repl)
     p_repl.set_defaults(func=cmd_repl)
 
     p_info = sub.add_parser("info", help="describe a store file")
@@ -218,7 +291,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="run the paper's queries on demo data")
     p_demo.add_argument("--rows", type=int, default=50_000)
+    _add_runtime_flags(p_demo)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_bench = sub.add_parser("bench", help="run a built-in benchmark")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_scan = bench_sub.add_parser(
+        "scan", help="worker-count and cache-policy sweep over the scan path"
+    )
+    p_scan.add_argument("--rows", type=int, default=60_000)
+    p_scan.add_argument(
+        "--workers", default="1,2,4", help="comma-separated worker counts"
+    )
+    p_scan.add_argument(
+        "--policies", default="lru,2q,arc", help="comma-separated cache policies"
+    )
+    p_scan.add_argument("--repeats", type=int, default=3)
+    p_scan.add_argument("--trace-steps", type=int, default=120)
+    p_scan.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_scan.set_defaults(func=cmd_bench_scan)
 
     from repro.analysis.cli import configure_fsck_parser, configure_lint_parser
 

@@ -25,8 +25,9 @@ after which restrictions on it can skip chunks like any other field.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.core.engine import (
     PresenceAggregator,
     build_aggregator,
 )
+from repro.core.executor import ExecutionStrategy, make_executor
 from repro.core.expr_eval import evaluate
 from repro.core.plan import is_aggregation_query, plan_group_query, resolve_group_aliases
 from repro.core.restriction import ChunkStatus, compile_restriction
@@ -60,7 +62,9 @@ from repro.sql.ast_nodes import (
     referenced_fields,
     walk,
 )
+from repro.monitoring import counters
 from repro.sql.parser import parse_query
+from repro.storage.cache import Cache, CacheStats, make_cache
 from repro.storage.chunk import ColumnChunk
 from repro.storage.dictionary import (
     Dictionary,
@@ -89,6 +93,12 @@ class DataStoreOptions:
     optimized_columns: bool = True
     optimized_dicts: bool = True
     cache_chunk_results: bool = True
+    # Runtime knobs (not part of the on-disk encoding): how the chunk
+    # loop fans out and how the per-chunk result cache is bounded.
+    executor: str = "serial"
+    workers: int | None = None
+    cache_policy: str = "lru"
+    cache_capacity_bytes: float = 64 * 1024 * 1024
 
 
 class FieldStore:
@@ -112,10 +122,18 @@ class FieldStore:
 
     # -- per-chunk row data -------------------------------------------------
     def row_global_ids(self, chunk_index: int) -> np.ndarray:
-        """Per-row global-ids of one chunk (cached)."""
+        """Per-row global-ids of one chunk, as int64 (cached).
+
+        int64 is the dtype every aggregation kernel indexes with, so
+        the widening happens once here instead of once per aggregator
+        per scanned chunk. Chunk scans never share a chunk index across
+        executor workers, so the per-slot lazy fill needs no lock.
+        """
         cached = self._row_gids[chunk_index]
         if cached is None:
-            cached = self.chunks[chunk_index].row_global_ids()
+            cached = self.chunks[chunk_index].row_global_ids().astype(
+                np.int64, copy=False
+            )
             self._row_gids[chunk_index] = cached
         return cached
 
@@ -225,7 +243,17 @@ class DataStore:
         self.chunk_row_counts = chunk_row_counts
         self.fields = fields
         self._virtual_by_sql: dict[str, str] = {}
-        self._chunk_cache: dict[tuple, Any] = {}
+        self.executor: ExecutionStrategy = make_executor(
+            options.executor, options.workers
+        )
+        # Bounded, byte-weighted per-chunk result cache (Section 6).
+        # get/put happen only on the merge thread (or under the lock
+        # when callers run concurrent queries); executor workers never
+        # touch it.
+        self._chunk_cache: Cache = make_cache(
+            options.cache_policy, options.cache_capacity_bytes
+        )
+        self._cache_lock = threading.Lock()
         self._original_fields = [
             name for name, store in fields.items() if not store.virtual
         ]
@@ -271,6 +299,93 @@ class DataStore:
     def n_chunks(self) -> int:
         return len(self.chunk_row_counts)
 
+    # -- runtime knobs -----------------------------------------------------------
+    def configure_runtime(
+        self,
+        executor: str | None = None,
+        workers: int | None = None,
+        cache_policy: str | None = None,
+        cache_capacity_bytes: float | None = None,
+    ) -> None:
+        """Swap execution strategy / cache sizing on a live store.
+
+        The encoding options are baked in at import time, but how the
+        chunk loop fans out and how big the result cache may grow are
+        per-process choices — the CLI applies its ``--workers`` /
+        ``--cache-policy`` flags here after :func:`load_store`.
+        Replacing the cache drops all resident entries; changing only
+        the executor keeps them (the cache key does not depend on how
+        partials are computed).
+        """
+        executor_updates: dict[str, Any] = {}
+        if executor is not None:
+            executor_updates["executor"] = executor
+        if workers is not None:
+            executor_updates["workers"] = workers
+        cache_updates: dict[str, Any] = {}
+        if cache_policy is not None:
+            cache_updates["cache_policy"] = cache_policy
+        if cache_capacity_bytes is not None:
+            cache_updates["cache_capacity_bytes"] = cache_capacity_bytes
+        if not executor_updates and not cache_updates:
+            return
+        self.options = replace(
+            self.options, **executor_updates, **cache_updates
+        )
+        if executor_updates:
+            self.executor.close()
+            self.executor = make_executor(
+                self.options.executor, self.options.workers
+            )
+        if cache_updates:
+            with self._cache_lock:
+                self._chunk_cache = make_cache(
+                    self.options.cache_policy,
+                    self.options.cache_capacity_bytes,
+                )
+
+    @property
+    def chunk_cache(self) -> Cache:
+        """The bounded per-chunk result cache (read for stats/size)."""
+        return self._chunk_cache
+
+    def chunk_cache_stats(self) -> CacheStats:
+        """Lifetime hit/miss/eviction counters of the chunk cache."""
+        return self._chunk_cache.stats
+
+    def _invalidate_chunk_cache(self) -> None:
+        """Drop all cached chunk partials (store contents changed)."""
+        with self._cache_lock:
+            if len(self._chunk_cache):
+                counters.increment("datastore.chunk_cache.invalidations")
+                self._chunk_cache.clear()
+
+    def __deepcopy__(self, memo: dict) -> "DataStore":
+        """Deep-copy the encoded data; rebuild the runtime objects.
+
+        The executor (thread pool), the cache lock and the chunk-result
+        cache are per-process runtime state, not data — copying a lock
+        is impossible and sharing a pool would couple the copies. The
+        clone starts with a fresh, empty cache (cached partials are
+        derived data and rebuild on demand).
+        """
+        import copy
+
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        runtime = {"executor", "_cache_lock", "_chunk_cache"}
+        for key, value in self.__dict__.items():
+            if key not in runtime:
+                setattr(clone, key, copy.deepcopy(value, memo))
+        clone.executor = make_executor(
+            clone.options.executor, clone.options.workers
+        )
+        clone._cache_lock = threading.Lock()
+        clone._chunk_cache = make_cache(
+            clone.options.cache_policy, clone.options.cache_capacity_bytes
+        )
+        return clone
+
     def field(self, name: str) -> FieldStore:
         try:
             return self.fields[name]
@@ -314,6 +429,11 @@ class DataStore:
     ) -> str:
         name = f"__v{sum(1 for f in self.fields.values() if f.virtual)}"
         self.fields[name] = FieldStore(name, dictionary, chunks, virtual=True)
+        # Materializing a field mutates the store's field namespace;
+        # cached partials are keyed on field names, so drop them rather
+        # than trust name-uniqueness forever (cheap: first query of a
+        # new shape only).
+        self._invalidate_chunk_cache()
         return name
 
     def _materialize_constant(self, expr: Expr) -> str:
@@ -414,7 +534,7 @@ class DataStore:
         stacked = np.concatenate(
             [
                 np.stack(
-                    [m.row_global_ids(i).astype(np.int64) for m in members],
+                    [m.row_global_ids(i) for m in members],
                     axis=1,
                 )
                 for i in range(self.n_chunks)
@@ -556,7 +676,13 @@ class DataStore:
             group_field_name,
             tuple(agg.sql() for agg in agg_order),
         )
+        use_cache = self.options.cache_chunk_results
 
+        # Phase 1 (merge thread): restriction decisions + cache probes.
+        # Chunks split three ways: skipped, served from cache, to scan.
+        phase_started = time.perf_counter()
+        ready: list[tuple[int, Any]] = []  # (chunk_index, partials)
+        to_scan: list[tuple[int, np.ndarray | None, bool]] = []
         for chunk_index in range(self.n_chunks):
             chunk_rows = self.chunk_row_counts[chunk_index]
             decision = restriction.decide(chunk_index)
@@ -565,32 +691,62 @@ class DataStore:
                 stats.rows_skipped += chunk_rows
                 continue
             if decision.status is ChunkStatus.FULL:
-                cache_key = (signature, chunk_index)
-                if self.options.cache_chunk_results:
-                    cached = self._chunk_cache.get(cache_key)
+                if use_cache:
+                    with self._cache_lock:
+                        cached = self._chunk_cache.get((signature, chunk_index))
                     if cached is not None:
                         stats.chunks_cached += 1
                         stats.rows_cached += chunk_rows
-                        presence.apply(cached[0])
-                        for aggregator, partial in zip(aggregators, cached[1:]):
-                            aggregator.apply(partial)
+                        counters.increment("datastore.chunk_cache.hits")
+                        ready.append((chunk_index, cached))
                         continue
-                partials = self._compute_partials(
-                    chunk_index, group_field, aggregators, arg_names,
-                    presence, mask=None,
-                )
-                if self.options.cache_chunk_results:
-                    self._chunk_cache[cache_key] = partials
+                    counters.increment("datastore.chunk_cache.misses")
+                to_scan.append((chunk_index, None, use_cache))
             else:
-                partials = self._compute_partials(
-                    chunk_index, group_field, aggregators, arg_names,
-                    presence, mask=decision.row_mask,
-                )
+                # Partial chunks depend on the WHERE mask: not cacheable.
+                to_scan.append((chunk_index, decision.row_mask, False))
             stats.chunks_scanned += 1
             stats.rows_scanned += chunk_rows
+        stats.restriction_seconds += time.perf_counter() - phase_started
+
+        # Phase 2: fan the pure per-chunk partial computation out over
+        # the execution strategy. Workers only read store state (see
+        # the chunk_partial contract in repro.core.engine).
+        phase_started = time.perf_counter()
+
+        def scan_one(task: tuple[int, np.ndarray | None, bool]) -> Any:
+            chunk_index, mask, __ = task
+            return self._compute_partials(
+                chunk_index, group_field, aggregators, arg_names,
+                presence, mask=mask,
+            )
+
+        computed = self.executor.map_ordered(scan_one, to_scan)
+        stats.scan_seconds += time.perf_counter() - phase_started
+
+        # Phase 3 (merge thread): admit fresh partials to the cache and
+        # fold everything in ascending chunk order — the deterministic
+        # merge order that makes parallel bit-identical to serial.
+        phase_started = time.perf_counter()
+        evictions_before = self._chunk_cache.stats.evictions
+        for (chunk_index, __, cacheable), partials in zip(to_scan, computed):
+            if cacheable:
+                with self._cache_lock:
+                    self._chunk_cache.put(
+                        (signature, chunk_index),
+                        partials,
+                        weight=_partials_weight(partials),
+                    )
+            ready.append((chunk_index, partials))
+        evicted = self._chunk_cache.stats.evictions - evictions_before
+        if evicted:
+            counters.increment("datastore.chunk_cache.evictions", evicted)
+        ready.sort(key=lambda item: item[0])
+        for __, partials in ready:
             presence.apply(partials[0])
             for aggregator, partial in zip(aggregators, partials[1:]):
                 aggregator.apply(partial)
+        stats.merge_seconds += time.perf_counter() - phase_started
 
         if group_field is None:
             present = np.array([True])
@@ -708,8 +864,10 @@ class DataStore:
     def _compute_partials(
         self, chunk_index, group_field, aggregators, arg_names, presence, mask
     ):
+        # row_global_ids is already int64 (cached once per chunk), so no
+        # per-aggregator-per-chunk astype copies happen here.
         if group_field is not None:
-            group_ids = group_field.row_global_ids(chunk_index).astype(np.int64)
+            group_ids = group_field.row_global_ids(chunk_index)
         else:
             group_ids = np.zeros(
                 self.chunk_row_counts[chunk_index], dtype=np.int64
@@ -718,7 +876,7 @@ class DataStore:
         partials = [presence.chunk_partial(data, None)]
         for aggregator, arg_name in zip(aggregators, arg_names):
             arg_ids = (
-                self.field(arg_name).row_global_ids(chunk_index).astype(np.int64)
+                self.field(arg_name).row_global_ids(chunk_index)
                 if arg_name is not None
                 else None
             )
@@ -727,9 +885,11 @@ class DataStore:
 
     # -- projection path -----------------------------------------------------------
     def _execute_projection(self, parsed, restriction, ensure, stats):
+        phase_started = time.perf_counter()
         item_fields = [
             (item.output_name(), ensure(item.expr)) for item in parsed.select
         ]
+        names = [name for name, __ in item_fields]
         rows: list[dict[str, Any]] = []
         for chunk_index in range(self.n_chunks):
             chunk_rows = self.chunk_row_counts[chunk_index]
@@ -740,19 +900,35 @@ class DataStore:
                 continue
             stats.chunks_scanned += 1
             stats.rows_scanned += chunk_rows
-            columns = {}
-            for name, field_name in item_fields:
+            # Materialize each output column once for the whole chunk
+            # (vectorized gid -> value gather), then zip the columns
+            # into row dicts — no per-cell array indexing.
+            column_values: list[list[Any]] = []
+            for __, field_name in item_fields:
                 store = self.field(field_name)
                 gids = store.row_global_ids(chunk_index)
                 if decision.row_mask is not None:
                     gids = gids[decision.row_mask]
-                columns[name] = store.value_array()[gids]
-            n = next(iter(columns.values())).size if columns else 0
-            for row_index in range(n):
-                rows.append(
-                    {name: columns[name][row_index] for name, __ in item_fields}
-                )
+                column_values.append(store.value_array()[gids].tolist())
+            rows.extend(
+                dict(zip(names, values)) for values in zip(*column_values)
+            )
+        stats.projection_seconds += time.perf_counter() - phase_started
         return rows
+
+
+def _partials_weight(partials: Any) -> float:
+    """Approximate resident bytes of one chunk's cached partials.
+
+    Partials are nested tuples/lists of numpy arrays (see the
+    aggregator ``chunk_partial`` implementations); array payloads
+    dominate, with a small flat overhead per container/scalar.
+    """
+    if isinstance(partials, np.ndarray):
+        return float(partials.nbytes) + 64.0
+    if isinstance(partials, (tuple, list)):
+        return 64.0 + sum(_partials_weight(item) for item in partials)
+    return 64.0
 
 
 def factorize_values(values: list[Any]) -> tuple[np.ndarray, list[Any]]:

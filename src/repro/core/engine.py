@@ -54,7 +54,21 @@ class ChunkData:
 
 
 class ColumnarAggregator:
-    """Base: per-chunk partial computation + global accumulation."""
+    """Base: per-chunk partial computation + global accumulation.
+
+    Threading contract (enforced by lint rule REP007, relied on by the
+    parallel executor in :mod:`repro.core.executor`):
+
+    - :meth:`chunk_partial` is **pure with respect to the aggregator**:
+      it may read ``self`` (dictionaries, per-gid value tables, flags)
+      but must never mutate it. The executor calls it concurrently from
+      worker threads, one call per chunk.
+    - :meth:`apply` is where all mutable state lives. It runs only on
+      the merge thread, in ascending chunk order, which keeps parallel
+      execution bit-identical to serial.
+    - A partial may be cached and re-applied by later queries, so
+      ``apply`` must not mutate the partial either.
+    """
 
     def __init__(self, n_groups: int) -> None:
         self.n_groups = n_groups
@@ -63,12 +77,12 @@ class ColumnarAggregator:
         """Compute this aggregate's partial for one chunk.
 
         ``arg_ids`` is the argument field's global-id per row (None for
-        COUNT(*)).
+        COUNT(*)). Must not mutate ``self`` — see the class docstring.
         """
         raise NotImplementedError
 
     def apply(self, partial: Any) -> None:
-        """Fold a partial into the global accumulators."""
+        """Fold a partial into the global accumulators (merge thread)."""
         raise NotImplementedError
 
     def results(self, present: np.ndarray) -> list[Any]:
@@ -216,7 +230,7 @@ class _ExtremeAggregator(ColumnarAggregator):
         if data.mask is not None:
             valid = valid & data.mask
         group_ids = data.group_ids[valid]
-        values = arg_ids[valid].astype(np.int64)
+        values = arg_ids[valid].astype(np.int64, copy=False)
         if not group_ids.size:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
         # Sort by (group, value); the first row per group is its min,
@@ -276,9 +290,9 @@ class CountDistinctAggregator(ColumnarAggregator):
         )
         if data.mask is not None:
             valid = valid & data.mask
-        pairs = (data.group_ids[valid].astype(np.int64) << 32) | arg_ids[
-            valid
-        ].astype(np.int64)
+        pairs = (
+            data.group_ids[valid].astype(np.int64, copy=False) << 32
+        ) | arg_ids[valid].astype(np.int64, copy=False)
         return np.unique(pairs)
 
     def apply(self, partial: Any) -> None:
@@ -319,9 +333,9 @@ class ApproxCountDistinctAggregator(ColumnarAggregator):
         )
         if data.mask is not None:
             valid = valid & data.mask
-        pairs = (data.group_ids[valid].astype(np.int64) << 32) | arg_ids[
-            valid
-        ].astype(np.int64)
+        pairs = (
+            data.group_ids[valid].astype(np.int64, copy=False) << 32
+        ) | arg_ids[valid].astype(np.int64, copy=False)
         return np.unique(pairs)
 
     def apply(self, partial: Any) -> None:

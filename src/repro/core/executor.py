@@ -1,0 +1,162 @@
+"""Pluggable chunk-scan execution strategies — Section 4, in-process.
+
+The paper's execution tree evaluates independent partial aggregations
+in parallel and merges them centrally. Within one process we mirror
+that split: the engine computes a *partial* per chunk (pure, no shared
+mutable state — see the aggregator contract in :mod:`repro.core.engine`)
+and folds the partials on the caller's thread. The fan-out part is
+pluggable:
+
+- :class:`SerialExecutor` evaluates tasks inline, one after another.
+- :class:`ParallelExecutor` fans tasks out over a persistent
+  ``concurrent.futures.ThreadPoolExecutor``. The per-chunk kernels are
+  numpy reductions that release the GIL, so threads yield real
+  parallelism on multi-core machines without any pickling.
+
+Determinism guarantee: :meth:`ExecutionStrategy.map_ordered` always
+returns results **in submission order**, regardless of completion
+order. Because the merge step (``Aggregator.apply``) runs on the
+calling thread, in that order, parallel execution is bit-identical to
+serial execution — the property test in ``tests/test_executor.py``
+asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Any, TypeVar
+
+from repro.errors import ExecutionError
+from repro.monitoring import counters
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def default_worker_count() -> int:
+    """The worker count used when callers pass ``workers=None``."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ExecutionStrategy:
+    """Common interface: ordered fan-out of independent tasks."""
+
+    name = "abstract"
+
+    def map_ordered(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Sequence[_Item],
+    ) -> list[_Result]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        Tasks must be independent: ``fn`` may read shared state but
+        must not mutate it (the engine's ``chunk_partial`` contract).
+        Exceptions raised by any task propagate to the caller.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for serial execution)."""
+
+    def describe(self) -> str:
+        """Human-readable strategy summary for CLI/status output."""
+        return self.name
+
+
+class SerialExecutor(ExecutionStrategy):
+    """Inline execution — the reference strategy parallel must match."""
+
+    name = "serial"
+
+    def map_ordered(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Sequence[_Item],
+    ) -> list[_Result]:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(ExecutionStrategy):
+    """Thread-pool fan-out with deterministic result order.
+
+    The pool is created lazily on first use and persists across
+    queries (thread startup would otherwise dominate small scans).
+    Results are collected by iterating the submitted futures in
+    submission order, so callers merge partials deterministically no
+    matter which worker finishes first.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError(
+                f"parallel executor needs >= 1 worker, got {workers}"
+            )
+        self.workers = workers if workers is not None else default_worker_count()
+        self._pool: _ThreadPool | None = None
+
+    def _ensure_pool(self) -> _ThreadPool:
+        if self._pool is None:
+            self._pool = _ThreadPool(
+                max_workers=self.workers, thread_name_prefix="repro-scan"
+            )
+        return self._pool
+
+    def map_ordered(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Sequence[_Item],
+    ) -> list[_Result]:
+        tasks = list(items)
+        if self.workers == 1 or len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in tasks]
+        counters.increment("executor.parallel.batches")
+        counters.increment("executor.parallel.tasks", len(futures))
+        # Submission order, not completion order: the determinism
+        # guarantee the merge step relies on.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def describe(self) -> str:
+        return f"parallel({self.workers})"
+
+
+_STRATEGIES: dict[str, type[ExecutionStrategy]] = {
+    SerialExecutor.name: SerialExecutor,
+    ParallelExecutor.name: ParallelExecutor,
+}
+
+
+def executor_names() -> list[str]:
+    """The registered strategy names, for CLI choices."""
+    return sorted(_STRATEGIES)
+
+
+def make_executor(
+    name: str, workers: int | None = None
+) -> ExecutionStrategy:
+    """Build an execution strategy by name ('serial', 'parallel').
+
+    ``workers`` only applies to the parallel strategy; passing it with
+    ``serial`` is accepted and ignored so callers can thread one pair
+    of knobs through unconditionally.
+    """
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown executor {name!r}; choose from {executor_names()}"
+        ) from None
+    if cls is ParallelExecutor:
+        return ParallelExecutor(workers)
+    return cls()

@@ -50,6 +50,14 @@ class ScanStats:
     cells_scanned: int = 0
     fields_accessed: tuple[str, ...] = ()
     memory_bytes: int = 0
+    # Per-phase wall-clock (seconds): restriction analysis + cache
+    # probes, the chunk-partial fan-out, the deterministic merge, and
+    # projection row materialization. Timings are measurement, not
+    # semantics — result-equality tests compare the counters above.
+    restriction_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    projection_seconds: float = 0.0
 
     @property
     def skip_fraction(self) -> float:
@@ -80,6 +88,12 @@ class ScanStats:
                 sorted(set(self.fields_accessed) | set(other.fields_accessed))
             ),
             memory_bytes=self.memory_bytes + other.memory_bytes,
+            restriction_seconds=self.restriction_seconds
+            + other.restriction_seconds,
+            scan_seconds=self.scan_seconds + other.scan_seconds,
+            merge_seconds=self.merge_seconds + other.merge_seconds,
+            projection_seconds=self.projection_seconds
+            + other.projection_seconds,
         )
 
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.datastore import DataStoreOptions
+from repro.core.executor import make_executor
 from repro.core.result import QueryResult, ScanStats
 from repro.core.table import Table
 from repro.distributed.shard import Shard, shard_table
@@ -70,6 +71,13 @@ class ClusterConfig:
     load_sigma: float = 0.35
     straggler_probability: float = 0.05
     straggler_slowdown: float = 12.0
+    # How shard sub-queries evaluate in *this* process: 'parallel' fans
+    # execute_partials out over worker threads (one task per shard, the
+    # real concurrency behind the simulated machines), 'serial' runs
+    # them inline. Results are identical either way — the cost model's
+    # RNG draws happen on the merge thread in shard order regardless.
+    executor: str = "serial"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_machines < 1:
@@ -128,6 +136,7 @@ class SimulatedCluster:
     ) -> None:
         self.shards = shards
         self.config = config
+        self._executor = make_executor(config.executor, config.workers)
         self._rng = np.random.default_rng(config.seed)
         self._memories = [
             _MachineMemory(config.machine.memory_bytes)
@@ -204,8 +213,14 @@ class SimulatedCluster:
         leaf_partials = []
         leaf_rows: list | None = None
         slowest_sub_query = 0.0
-        for shard in self.shards:
-            stats, partial = shard.store.execute_partials(parsed)
+        # Shard partials are independent (each shard owns its store);
+        # fan them out over the executor. The deterministic cost model
+        # below stays on the merge thread, consuming results in shard
+        # order, so simulated timings are identical either way.
+        shard_results = self._executor.map_ordered(
+            lambda shard: shard.store.execute_partials(parsed), self.shards
+        )
+        for shard, (stats, partial) in zip(self.shards, shard_results):
             merged_stats = merged_stats.merge(stats)
             # The sub-query goes to the primary and every replica; all
             # of them compute, the fastest answer wins.

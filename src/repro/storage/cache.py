@@ -67,6 +67,14 @@ class Cache:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def clear(self) -> None:
+        """Drop every resident entry (and any ghost bookkeeping).
+
+        Invalidation, not eviction: hit/miss/eviction statistics are
+        preserved so callers can still report lifetime totals.
+        """
+        raise NotImplementedError
+
     @property
     def used(self) -> float:
         """Total weight currently resident."""
@@ -117,6 +125,10 @@ class LruCache(Cache):
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0.0
 
     @property
     def used(self) -> float:
@@ -203,6 +215,13 @@ class TwoQCache(Cache):
 
     def __len__(self) -> int:
         return len(self._am) + len(self._a1in)
+
+    def clear(self) -> None:
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()
+        self._in_used = 0.0
+        self._am_used = 0.0
 
     @property
     def used(self) -> float:
@@ -302,6 +321,15 @@ class ArcCache(Cache):
     def __len__(self) -> int:
         return len(self._t1) + len(self._t2)
 
+    def clear(self) -> None:
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._p = 0.0
+        self._t1_used = 0.0
+        self._t2_used = 0.0
+
     @property
     def used(self) -> float:
         return self._t1_used + self._t2_used
@@ -313,6 +341,11 @@ class ArcCache(Cache):
 
 
 _POLICIES = {cls.name: cls for cls in (LruCache, TwoQCache, ArcCache)}
+
+
+def policy_names() -> list[str]:
+    """The registered eviction policy names, for CLI choices."""
+    return sorted(_POLICIES)
 
 
 def make_cache(policy: str, capacity: float) -> Cache:

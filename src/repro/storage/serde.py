@@ -236,6 +236,10 @@ def save_store(store: DataStore, path: str) -> int:
             "optimized_columns": store.options.optimized_columns,
             "optimized_dicts": store.options.optimized_dicts,
             "cache_chunk_results": store.options.cache_chunk_results,
+            "executor": store.options.executor,
+            "workers": store.options.workers,
+            "cache_policy": store.options.cache_policy,
+            "cache_capacity_bytes": store.options.cache_capacity_bytes,
         },
         "n_rows": store.n_rows,
         "chunk_row_counts": store.chunk_row_counts,
@@ -318,6 +322,13 @@ def _parse_store_body(data: bytes, pos: int) -> DataStore:
         optimized_columns=raw_options["optimized_columns"],
         optimized_dicts=raw_options["optimized_dicts"],
         cache_chunk_results=raw_options["cache_chunk_results"],
+        # Runtime knobs: absent in files written before they existed.
+        executor=raw_options.get("executor", "serial"),
+        workers=raw_options.get("workers"),
+        cache_policy=raw_options.get("cache_policy", "lru"),
+        cache_capacity_bytes=raw_options.get(
+            "cache_capacity_bytes", 64 * 1024 * 1024
+        ),
     )
     chunk_row_counts = list(header["chunk_row_counts"])
 

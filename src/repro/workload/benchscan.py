@@ -1,0 +1,248 @@
+"""The scan-path benchmark: worker sweep + cache-policy sweep.
+
+One reusable implementation behind both surfaces that run it:
+
+- ``repro bench scan`` (the CLI) for ad-hoc runs, and
+- ``benchmarks/bench_parallel_scan.py``, which records the repo's perf
+  trajectory point (``BENCH_PR2.json``) so scan-path regressions are
+  visible PR over PR (the ScanTwin idea from PAPERS.md).
+
+Two sweeps, both on the shared synthetic log workload:
+
+1. **Workers** — the same aggregation workload through
+   :class:`~repro.core.executor.SerialExecutor` and
+   :class:`~repro.core.executor.ParallelExecutor` at each requested
+   worker count, with chunk-result caching off so every pass measures
+   the scan itself. Result rows are compared against serial on every
+   configuration (the determinism guarantee, re-checked here).
+2. **Cache policies** — a hot-set + one-off-scan query trace against a
+   chunk cache deliberately sized *below* the working set, per policy;
+   reports hit/miss/eviction counts and resident bytes, demonstrating
+   bounded memory under eviction pressure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+#: The hot aggregation queries; multi-aggregate on purpose so each
+#: chunk task carries real kernel work (bincounts, unique, lexsort).
+_HOT_QUERIES = (
+    "SELECT country, COUNT(*) AS c, SUM(latency) AS s, MIN(latency) AS lo, "
+    "MAX(latency) AS hi FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+    "SELECT table_name, COUNT(*) AS c, COUNT(DISTINCT user_name) AS u "
+    "FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10",
+    "SELECT user_name, AVG(latency) AS a, COUNT(DISTINCT table_name) AS t "
+    "FROM data GROUP BY user_name ORDER BY a DESC LIMIT 10",
+)
+
+#: Aggregate/group combinations used as one-off queries in the cache
+#: trace — each distinct (group field, aggregates) pair is a distinct
+#: cache signature, which is what creates eviction pressure.
+_ONE_OFF_GROUPS = ("country", "table_name", "user_name")
+_ONE_OFF_AGGS = (
+    "COUNT(*)",
+    "SUM(latency)",
+    "AVG(latency)",
+    "MIN(latency)",
+    "MAX(latency)",
+    "COUNT(latency)",
+)
+
+
+@dataclass(frozen=True)
+class ScanBenchConfig:
+    """Knobs for one scan-benchmark run."""
+
+    rows: int = 60_000
+    workers: tuple[int, ...] = (1, 2, 4)
+    policies: tuple[str, ...] = ("lru", "2q", "arc")
+    repeats: int = 3
+    chunk_rows: int | None = None
+    cache_trace_steps: int = 120
+    seed: int = 2012
+
+    def effective_chunk_rows(self) -> int:
+        if self.chunk_rows is not None:
+            return self.chunk_rows
+        return max(256, self.rows // 24)
+
+
+def _bench_table(config: ScanBenchConfig):
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 4000)),
+            n_teams=min(40, max(8, config.rows // 3000)),
+            seed=config.seed,
+        )
+    )
+
+
+def _build_store(table: Any, config: ScanBenchConfig, **overrides: Any) -> DataStore:
+    options = DataStoreOptions(
+        partition_fields=("country", "table_name"),
+        max_chunk_rows=config.effective_chunk_rows(),
+        reorder_rows=True,
+        **overrides,
+    )
+    return DataStore.from_table(table, options)
+
+
+def _timed_pass(store: DataStore, queries: tuple[str, ...], repeats: int):
+    """Best-of-``repeats`` wall-clock over the query list, plus rows."""
+    rows = [store.execute(sql).sorted_rows() for sql in queries]  # warm
+    best = float("inf")
+    scan_seconds = 0.0
+    for __ in range(repeats):
+        started = time.perf_counter()
+        results = [store.execute(sql) for sql in queries]
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            scan_seconds = sum(r.stats.scan_seconds for r in results)
+    return best, scan_seconds, rows
+
+
+def _worker_sweep(table: Any, config: ScanBenchConfig) -> dict[str, Any]:
+    serial_store = _build_store(table, config, cache_chunk_results=False)
+    serial_seconds, serial_scan, serial_rows = _timed_pass(
+        serial_store, _HOT_QUERIES, config.repeats
+    )
+    sweep: list[dict[str, Any]] = []
+    identical = True
+    for workers in config.workers:
+        store = _build_store(
+            table,
+            config,
+            cache_chunk_results=False,
+            executor="parallel",
+            workers=workers,
+        )
+        seconds, scan_seconds, rows = _timed_pass(
+            store, _HOT_QUERIES, config.repeats
+        )
+        identical = identical and rows == serial_rows
+        sweep.append(
+            {
+                "workers": workers,
+                "seconds": seconds,
+                "scan_seconds": scan_seconds,
+                "speedup_vs_serial": serial_seconds / seconds,
+            }
+        )
+        store.executor.close()
+    return {
+        "serial_seconds": serial_seconds,
+        "serial_scan_seconds": serial_scan,
+        "chunks": serial_store.n_chunks,
+        "sweep": sweep,
+        "results_identical_to_serial": identical,
+    }
+
+
+def _cache_trace(store: DataStore, config: ScanBenchConfig) -> float:
+    """Hot queries with periodic one-off signatures; returns seconds."""
+    one_offs = [
+        f"SELECT {group}, {agg} AS v FROM data GROUP BY {group} LIMIT 5"
+        for group in _ONE_OFF_GROUPS
+        for agg in _ONE_OFF_AGGS
+    ]
+    started = time.perf_counter()
+    for step in range(config.cache_trace_steps):
+        # Temporal locality: each hot query runs in bursts of three
+        # before the workload moves on, like a user refining one drill-
+        # down; a round-robin loop over a set larger than capacity would
+        # thrash every recency-based policy to a 0% hit rate.
+        store.execute(_HOT_QUERIES[(step // 3) % len(_HOT_QUERIES)])
+        if step % 4 == 3:
+            store.execute(one_offs[(step // 4) % len(one_offs)])
+    return time.perf_counter() - started
+
+
+def _policy_sweep(table: Any, config: ScanBenchConfig) -> list[dict[str, Any]]:
+    # Size the cache well below the working set: every hot query caches
+    # a partial per chunk, so a fraction of one query's worth of chunks
+    # guarantees eviction pressure while leaving room for hits.
+    probe = _build_store(table, config)
+    probe.execute(_HOT_QUERIES[0])
+    full_weight = max(probe.chunk_cache.used, 1.0)
+    capacity = max(4096.0, 1.5 * full_weight)
+    results = []
+    for policy in config.policies:
+        store = _build_store(
+            table,
+            config,
+            cache_policy=policy,
+            cache_capacity_bytes=capacity,
+        )
+        seconds = _cache_trace(store, config)
+        stats = store.chunk_cache_stats()
+        results.append(
+            {
+                "policy": policy,
+                "capacity_bytes": capacity,
+                "seconds": seconds,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+                "resident_bytes": store.chunk_cache.used,
+                "resident_entries": len(store.chunk_cache),
+            }
+        )
+    return results
+
+
+def run_scan_bench(config: ScanBenchConfig | None = None) -> dict[str, Any]:
+    """Run both sweeps; returns the JSON-ready trajectory point."""
+    config = config or ScanBenchConfig()
+    table = _bench_table(config)
+    report: dict[str, Any] = {
+        "bench": "parallel_scan",
+        "rows": config.rows,
+        "chunk_rows": config.effective_chunk_rows(),
+        "repeats": config.repeats,
+        "cpu_count": os.cpu_count(),
+        "queries": list(_HOT_QUERIES),
+    }
+    report.update(_worker_sweep(table, config))
+    report["cache_policies"] = _policy_sweep(table, config)
+    return report
+
+
+def render_scan_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary lines for a :func:`run_scan_bench` result."""
+    lines = [
+        f"parallel chunk-scan bench — {report['rows']} rows in "
+        f"{report['chunks']} chunks, {report['cpu_count']} CPU(s)",
+        "",
+        f"serial:            {1000 * report['serial_seconds']:8.1f} ms "
+        f"(scan {1000 * report['serial_scan_seconds']:.1f} ms)",
+    ]
+    for point in report["sweep"]:
+        lines.append(
+            f"parallel x{point['workers']:<2}:      "
+            f"{1000 * point['seconds']:8.1f} ms "
+            f"(speedup {point['speedup_vs_serial']:.2f}x)"
+        )
+    lines.append(
+        "parallel == serial results: "
+        + ("yes" if report["results_identical_to_serial"] else "NO — BUG")
+    )
+    lines.append("")
+    lines.append("bounded chunk-cache under eviction pressure:")
+    for entry in report["cache_policies"]:
+        lines.append(
+            f"  {entry['policy']:<4} hit rate {entry['hit_rate']:6.1%}  "
+            f"hits {entry['hits']:>5}  evictions {entry['evictions']:>5}  "
+            f"resident {entry['resident_bytes'] / 1024:7.1f} KB "
+            f"(cap {entry['capacity_bytes'] / 1024:.1f} KB)"
+        )
+    return lines

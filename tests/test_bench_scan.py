@@ -1,0 +1,94 @@
+"""Smoke tests for ``repro bench scan`` and its runtime flags.
+
+The full sweep lives in ``benchmarks/bench_parallel_scan.py``; here we
+only prove the CLI surface works end to end at a tiny scale: the
+subcommand runs, writes parseable JSON with the trajectory fields, and
+the ``--workers`` / ``--cache-policy`` query flags actually reconfigure
+the store.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.formats import write_csv
+
+
+class TestBenchScanCli:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_PR2.json")
+        code = main(
+            [
+                "bench", "scan",
+                "--rows", "2000",
+                "--workers", "2",
+                "--policies", "lru,arc",
+                "--repeats", "1",
+                "--trace-steps", "16",
+                "--output", out,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "parallel == serial results: yes" in printed
+        report = json.loads(open(out, encoding="utf-8").read())
+        assert report["bench"] == "parallel_scan"
+        assert report["results_identical_to_serial"] is True
+        assert [p["workers"] for p in report["sweep"]] == [2]
+        assert {e["policy"] for e in report["cache_policies"]} == {"lru", "arc"}
+        for entry in report["cache_policies"]:
+            assert entry["resident_bytes"] <= entry["capacity_bytes"]
+
+    def test_unknown_bench_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "warp"])
+
+
+class TestQueryRuntimeFlags:
+    @pytest.fixture()
+    def store_path(self, log_table, tmp_path):
+        csv = str(tmp_path / "logs.csv")
+        write_csv(log_table, csv)
+        out = str(tmp_path / "s.pds")
+        assert (
+            main(
+                [
+                    "import", csv, out,
+                    "--partition", "country,table_name",
+                    "--chunk-rows", "300",
+                ]
+            )
+            == 0
+        )
+        return out
+
+    def test_query_with_runtime_flags(self, store_path, capsys):
+        code = main(
+            [
+                "query", store_path,
+                "SELECT country, COUNT(*) AS c FROM data "
+                "GROUP BY country ORDER BY c DESC LIMIT 3",
+                "--workers", "4",
+                "--cache-policy", "arc",
+                "--cache-capacity-kb", "256",
+            ]
+        )
+        assert code == 0
+        assert "rows in" in capsys.readouterr().out
+
+    def test_bad_cache_policy_rejected(self, store_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", store_path,
+                    "SELECT COUNT(*) FROM data",
+                    "--cache-policy", "fifo",
+                ]
+            )
+
+    def test_demo_reports_cache_counters(self, capsys):
+        assert main(["demo", "--rows", "1500", "--workers", "2"]) == 0
+        assert "chunk-result cache:" in capsys.readouterr().out

@@ -178,6 +178,42 @@ class TestSimulatedCluster:
                 distributed.rows(), single.execute(query).rows(), context=query
             )
 
+    def test_parallel_executor_identical_to_serial(self, log_table):
+        """Fanning shard sub-queries over threads changes nothing
+        observable: results, ScanStats counters and even the simulated
+        cost-model metrics match the serial cluster exactly (the RNG
+        draws stay on the merge thread in shard order)."""
+        serial = SimulatedCluster.build(
+            log_table,
+            n_shards=6,
+            store_options=_OPTIONS,
+            config=ClusterConfig(n_machines=8, seed=4),
+        )
+        parallel = SimulatedCluster.build(
+            log_table,
+            n_shards=6,
+            store_options=_OPTIONS,
+            config=ClusterConfig(
+                n_machines=8, seed=4, executor="parallel", workers=4
+            ),
+        )
+        for query in (
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+            "SELECT COUNT(*) FROM data WHERE latency > 100",
+            "SELECT table_name, SUM(latency) as s FROM data GROUP BY table_name ORDER BY s DESC LIMIT 8",
+        ):
+            serial_result, serial_metrics = serial.execute(query)
+            parallel_result, parallel_metrics = parallel.execute(query)
+            assert serial_result.rows() == parallel_result.rows(), query
+            assert (
+                serial_metrics.latency_seconds
+                == parallel_metrics.latency_seconds
+            ), query
+            assert (
+                serial_metrics.bytes_loaded_from_disk
+                == parallel_metrics.bytes_loaded_from_disk
+            ), query
+
     def test_first_query_loads_from_disk_then_memory(self, log_table):
         cluster = SimulatedCluster.build(
             log_table,

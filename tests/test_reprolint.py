@@ -320,6 +320,116 @@ class TestNoPrint:
         assert report.ok
 
 
+class TestChunkPartialMutation:
+    def test_self_attribute_assignment_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    self.total = self.total + 1
+                    return data
+            """,
+            select=["REP007"],
+        )
+        assert report.codes() == {"REP007"}
+
+    def test_augmented_assignment_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    self.total += 1
+                    return data
+            """,
+            select=["REP007"],
+        )
+        assert report.codes() == {"REP007"}
+
+    def test_self_subscript_assignment_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    self.partials[data.chunk_index] = 1
+                    return data
+            """,
+            select=["REP007"],
+        )
+        assert report.codes() == {"REP007"}
+
+    def test_mutating_method_call_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    self.seen.append(data)
+                    return data
+            """,
+            select=["REP007"],
+        )
+        assert report.codes() == {"REP007"}
+
+    def test_nested_attribute_mutation_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    self.state.counts.update({1: 2})
+                    return data
+            """,
+            select=["REP007"],
+        )
+        assert report.codes() == {"REP007"}
+
+    def test_local_mutation_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    counts = []
+                    counts.append(data)
+                    total = self.offset + 1
+                    return counts, total
+            """,
+            select=["REP007"],
+        )
+        assert report.ok
+
+    def test_mutation_in_apply_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Agg:
+                def chunk_partial(self, data):
+                    return data
+
+                def apply(self, partials, chunk_index):
+                    self.partials[chunk_index] = partials
+                    self.total += 1
+            """,
+            select=["REP007"],
+        )
+        assert report.ok
+
+    def test_chunk_partial_outside_class_ignored(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def chunk_partial(state, data):
+                state.total += 1
+                return data
+            """,
+            select=["REP007"],
+        )
+        assert report.ok
+
+
 class TestSuppressions:
     def test_line_suppression_silences(self, tmp_path):
         report = lint_snippet(
@@ -375,9 +485,15 @@ class TestEngine:
     def test_registry_is_complete_and_ordered(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == sorted(codes)
-        assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"} <= (
-            set(codes)
-        )
+        assert {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+        } <= set(codes)
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(AnalysisError):

@@ -1,0 +1,74 @@
+"""Fault-tolerant distributed execution (PR 3).
+
+Not a paper table — the next point of the repo's own trajectory:
+`BENCH_PR3.json` records availability, row coverage, latency and the
+retry/failover/timeout/quarantine totals of the simulated cluster under
+a seeded fault plan, swept over per-machine crash rates
+{0, 0.05, 0.2, 0.5}, so later PRs can diff fault-handling behaviour.
+
+What is asserted unconditionally (correctness, not speed):
+
+- with no injected crashes every query is answered completely with
+  full row coverage;
+- every result the system reports as *complete* matches the fault-free
+  reference row-for-row, at every crash rate — fault handling may cost
+  latency and coverage, never silent wrong answers;
+- at the heaviest crash rate the cluster degrades rather than fails:
+  availability drops below 1 but every served query still reports an
+  exact row-coverage fraction.
+
+Everything here is simulated and seeded, so the numbers are identical
+on any machine — no cores/timing gates needed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.helpers import BENCH_ROWS, RESULTS_DIR, emit_report
+from repro.workload.chaosbench import (
+    ChaosBenchConfig,
+    render_chaos_report,
+    run_chaos_bench,
+)
+
+CRASH_RATES = (0.0, 0.05, 0.2, 0.5)
+
+
+def test_fault_tolerance_trajectory():
+    config = ChaosBenchConfig(
+        rows=min(BENCH_ROWS, 24_000),
+        crash_rates=CRASH_RATES,
+        queries_per_rate=12,
+    )
+    report = run_chaos_bench(config)
+    report["pr"] = 3
+
+    emit_report("fault_tolerance", render_chaos_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR3.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    sweep = report["sweep"]
+    assert [point["crash_rate"] for point in sweep] == list(CRASH_RATES)
+
+    # No crashes: fully available, fully covered.
+    assert sweep[0]["availability"] == 1.0
+    assert sweep[0]["mean_row_coverage"] == 1.0
+
+    # Complete answers are never silently wrong, at any fault rate.
+    assert all(p["complete_results_match_reference"] for p in sweep)
+
+    # Heavy crashes degrade gracefully: availability drops, but
+    # coverage accounting stays exact (within [0, 1], never negative).
+    assert sweep[-1]["availability"] < 1.0
+    assert sweep[-1]["mean_row_coverage"] < 1.0
+    for point in sweep:
+        assert 0.0 <= point["min_row_coverage"] <= 1.0
+        assert point["availability"] <= sweep[0]["availability"]
+
+    # The fault machinery actually engaged under crashes.
+    assert sum(p["failovers"] for p in sweep[1:]) > 0
+    assert sum(p["fault_events"] for p in sweep[1:]) > 0

@@ -78,6 +78,16 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "worker threads; mutable aggregator state is only safe in "
         "apply() on the merge thread",
     ),
+    CatalogEntry(
+        "REP008",
+        "ad-hoc-retry",
+        "no sleep() calls or except-then-continue retry loops outside "
+        "distributed/faults.py",
+        "delays and retries are simulated deterministically through "
+        "the fault layer's backoff_delay/dispatch helpers; a real "
+        "sleep or hand-rolled retry loop breaks reproducibility and "
+        "hides failure accounting",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

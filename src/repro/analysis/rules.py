@@ -1,4 +1,4 @@
-"""The built-in reprolint rules (REP001 — REP006).
+"""The built-in reprolint rules (REP001 — REP008).
 
 Each rule encodes one repo convention that keeps the storage layer's
 invariants enforceable:
@@ -19,6 +19,9 @@ invariants enforceable:
 - REP007 — ``chunk_partial`` implementations never mutate ``self``:
   the parallel executor calls them concurrently; mutable state belongs
   in ``apply()`` on the merge thread.
+- REP008 — no ``time.sleep`` and no ad-hoc retry loops outside the
+  sanctioned backoff helper in :mod:`repro.distributed.faults`: delays
+  and retries are *simulated* and deterministic, never slept for real.
 """
 
 from __future__ import annotations
@@ -403,6 +406,93 @@ class ChunkPartialMutationRule(LintRule):
                     f".{node.func.attr}() on a self attribute; move "
                     "mutable state into apply() (REP007 executor "
                     "thread-safety contract)",
+                )
+
+
+@lint_rule
+class SleepRetryRule(LintRule):
+    """REP008: no bare sleeps or ad-hoc retry loops in library code.
+
+    Retry/backoff behaviour must go through the sanctioned, *simulated*
+    backoff helper in :mod:`repro.distributed.faults` (which is exempt,
+    being that helper's home). Two patterns are flagged:
+
+    - any call to a ``sleep`` function (``time.sleep(...)``, a bare
+      ``sleep(...)``, ``asyncio.sleep(...)``): real delays make the
+      deterministic simulation and the test suite wall-clock-dependent;
+    - an *attempt* loop (``while ...`` or ``for ... in range(...)``)
+      whose body catches an exception and ``continue``s — the classic
+      hand-rolled retry loop, which hides unbounded retries and
+      swallows the failure accounting the fault layer centralizes.
+      Loops over data (``for kind in (int, float)`` fallback chains)
+      are not retry loops and are left alone.
+    """
+
+    code = "REP008"
+    name = "ad-hoc-retry"
+    description = (
+        "time.sleep / bare sleep calls and except-then-continue retry "
+        "loops are banned outside distributed/faults.py; use the "
+        "sanctioned simulated backoff helper (backoff_delay)"
+    )
+    default_severity = Severity.ERROR
+    exempt_files = ("distributed/faults.py",)
+
+    def _is_sleep_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "sleep"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "sleep"
+        return False
+
+    def _is_attempt_loop(self, node: ast.stmt) -> bool:
+        """While loops and ``for ... in range(...)`` count attempts."""
+        if isinstance(node, ast.While):
+            return True
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            call = node.iter
+            return (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "range"
+            )
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        flagged_handlers: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and self._is_sleep_call(node):
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "sleep() call in library code; delays are simulated "
+                    "via repro.distributed.faults.backoff_delay (REP008)",
+                )
+            elif self._is_attempt_loop(node):
+                yield from self._check_loop(node, flagged_handlers)
+
+    def _check_loop(
+        self, loop: ast.For | ast.While | ast.AsyncFor,
+        flagged_handlers: set[int],
+    ) -> Iterator[RawFinding]:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if id(node) in flagged_handlers:
+                continue
+            if any(
+                isinstance(stmt, ast.Continue)
+                for body_node in node.body
+                for stmt in ast.walk(body_node)
+            ):
+                flagged_handlers.add(id(node))
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "ad-hoc retry loop (except-then-continue); route "
+                    "retries through the fault layer's dispatch/backoff "
+                    "helpers (REP008)",
                 )
 
 

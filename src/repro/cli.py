@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     python -m repro repl store.pds
     python -m repro info store.pds
     python -m repro demo --rows 50000
+    python -m repro chaos --crash-rate 0,0.05,0.2,0.5 --fault-seed 7
     python -m repro lint src/repro
     python -m repro fsck store.pds
 
@@ -254,6 +255,37 @@ def cmd_bench_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.chaosbench import (
+        ChaosBenchConfig,
+        render_chaos_report,
+        run_chaos_bench,
+    )
+
+    config = ChaosBenchConfig(
+        rows=args.rows,
+        n_shards=args.shards,
+        n_machines=args.machines,
+        queries_per_rate=args.queries,
+        crash_rates=tuple(float(r) for r in args.crash_rate.split(",")),
+        timeout_rate=args.timeout_rate,
+        corruption_rate=args.corruption_rate,
+        deadline_seconds=args.sub_query_deadline_ms / 1000.0,
+        max_retries=args.max_retries,
+        fault_seed=args.fault_seed,
+    )
+    report = run_chaos_bench(config)
+    print("\n".join(render_chaos_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +344,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON report here"
     )
     p_scan.set_defaults(func=cmd_bench_scan)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep injected fault rates over the simulated cluster",
+    )
+    p_chaos.add_argument("--rows", type=int, default=24_000)
+    p_chaos.add_argument("--shards", type=int, default=6)
+    p_chaos.add_argument("--machines", type=int, default=8)
+    p_chaos.add_argument(
+        "--queries", type=int, default=12, help="queries per crash rate"
+    )
+    p_chaos.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-plan RNG seed"
+    )
+    p_chaos.add_argument(
+        "--crash-rate",
+        default="0,0.05,0.2,0.5",
+        help="comma-separated per-machine crash probabilities to sweep",
+    )
+    p_chaos.add_argument("--timeout-rate", type=float, default=0.02)
+    p_chaos.add_argument("--corruption-rate", type=float, default=0.02)
+    p_chaos.add_argument(
+        "--sub-query-deadline-ms",
+        type=float,
+        default=500.0,
+        help="per-attempt deadline in milliseconds",
+    )
+    p_chaos.add_argument("--max-retries", type=int, default=2)
+    p_chaos.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     from repro.analysis.cli import configure_fsck_parser, configure_lint_parser
 

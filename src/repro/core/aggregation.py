@@ -11,6 +11,7 @@ what makes the distributed execution tree's multi-level aggregation
 
 from __future__ import annotations
 
+import copy as _copy
 from typing import Any
 
 from repro.errors import ExecutionError, UnsupportedQueryError
@@ -30,6 +31,15 @@ class AggState:
     def result(self) -> Any:
         raise NotImplementedError
 
+    def copy(self) -> "AggState":
+        """A detached clone safe to merge into.
+
+        Every built-in state overrides this with a cheap field copy
+        (the distributed tree clones states on every first-seen group);
+        deepcopy is only the fallback for exotic subclasses.
+        """
+        return _copy.deepcopy(self)
+
 
 class CountStarState(AggState):
     """COUNT(*): counts rows, NULLs included."""
@@ -47,6 +57,11 @@ class CountStarState(AggState):
 
     def result(self) -> int:
         return self.count
+
+    def copy(self) -> "CountStarState":
+        out = CountStarState()
+        out.count = self.count
+        return out
 
 
 class CountValueState(AggState):
@@ -66,6 +81,11 @@ class CountValueState(AggState):
 
     def result(self) -> int:
         return self.count
+
+    def copy(self) -> "CountValueState":
+        out = CountValueState()
+        out.count = self.count
+        return out
 
 
 class SumState(AggState):
@@ -92,6 +112,12 @@ class SumState(AggState):
     def result(self) -> float | None:
         return self.total if self.seen else None
 
+    def copy(self) -> "SumState":
+        out = SumState()
+        out.total = self.total
+        out.seen = self.seen
+        return out
+
 
 class MinState(AggState):
     """MIN(x) over non-NULL values."""
@@ -114,6 +140,11 @@ class MinState(AggState):
     def result(self) -> Any:
         return self.best
 
+    def copy(self) -> "MinState":
+        out = MinState()
+        out.best = self.best
+        return out
+
 
 class MaxState(AggState):
     """MAX(x) over non-NULL values."""
@@ -135,6 +166,11 @@ class MaxState(AggState):
 
     def result(self) -> Any:
         return self.best
+
+    def copy(self) -> "MaxState":
+        out = MaxState()
+        out.best = self.best
+        return out
 
 
 class AvgState(AggState):
@@ -162,6 +198,12 @@ class AvgState(AggState):
     def result(self) -> float | None:
         return self.total / self.count if self.count else None
 
+    def copy(self) -> "AvgState":
+        out = AvgState()
+        out.total = self.total
+        out.count = self.count
+        return out
+
 
 class CountDistinctState(AggState):
     """Exact COUNT(DISTINCT x) via a value set.
@@ -186,6 +228,11 @@ class CountDistinctState(AggState):
     def result(self) -> int:
         return len(self.values)
 
+    def copy(self) -> "CountDistinctState":
+        out = CountDistinctState()
+        out.values = set(self.values)
+        return out
+
 
 class ApproxCountDistinctState(AggState):
     """KMV-based approximate COUNT DISTINCT (Section 5)."""
@@ -204,6 +251,11 @@ class ApproxCountDistinctState(AggState):
 
     def result(self) -> int:
         return self.sketch.estimate()
+
+    def copy(self) -> "ApproxCountDistinctState":
+        out = ApproxCountDistinctState(self.sketch.m)
+        out.sketch = self.sketch.copy()
+        return out
 
 
 def make_state(agg: Aggregate) -> AggState:

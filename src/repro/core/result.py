@@ -99,11 +99,20 @@ class ScanStats:
 
 @dataclass
 class QueryResult:
-    """A result table plus execution metadata."""
+    """A result table plus execution metadata.
+
+    ``complete``/``row_coverage`` implement the paper's graceful
+    degradation: when the distributed layer cannot reach any replica of
+    a shard it still serves the query, marked incomplete, with the
+    exact fraction of rows the answer covers. Single-node execution
+    always returns complete results (coverage 1.0).
+    """
 
     table: Table
     stats: ScanStats = field(default_factory=ScanStats)
     elapsed_seconds: float = 0.0
+    complete: bool = True
+    row_coverage: float = 1.0
 
     def rows(self) -> list[tuple]:
         return list(self.table.iter_rows())

@@ -10,6 +10,11 @@
   production cluster: machines with fluctuating load, an in-memory /
   on-disk residency model, primary+replica sub-queries, and the
   latency/disk metrics behind Figure 5 and the Section 6 statistics.
+- :mod:`repro.distributed.faults` -- Section 4's reliability story:
+  seeded fault injection (crashes, timeouts, slow episodes, corrupted
+  responses) and the handling engine (hedged dispatch, deadlines, CRC
+  verification, bounded retry with backoff, graceful degradation with
+  exact row-coverage accounting).
 """
 
 from repro.distributed.cluster import (
@@ -17,6 +22,13 @@ from repro.distributed.cluster import (
     MachineConfig,
     QueryMetrics,
     SimulatedCluster,
+)
+from repro.distributed.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+    backoff_delay,
+    dispatch_sub_query,
 )
 from repro.distributed.shard import Shard, shard_table
 from repro.distributed.tree import (
@@ -28,10 +40,16 @@ from repro.distributed.tree import (
 __all__ = [
     "ClusterConfig",
     "ComputationTree",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultPlan",
     "MachineConfig",
     "QueryMetrics",
     "Shard",
     "SimulatedCluster",
+    "backoff_delay",
     "decompose_query",
+    "dispatch_sub_query",
     "merge_group_partials",
+    "shard_table",
 ]

@@ -13,6 +13,16 @@ Model, mirroring the paper:
   simulated machine finishes first. Both always compute (keeping their
   caches in sync), and both pay their own disk loads — exactly the
   scheme of Section 4 "Reliable Distributed Execution".
+- the reliability half of that section lives in
+  :mod:`repro.distributed.faults`: a seeded :class:`FaultPlan`
+  (``ClusterConfig.faults``) can crash machines, time out / slow down /
+  corrupt sub-query responses, and every sub-query then runs through
+  hedged dispatch, deadlines, CRC verification and bounded retry with
+  exponential backoff. When every replica of a shard is lost the query
+  **degrades gracefully**: the merge proceeds without that shard and
+  the result carries ``complete=False`` plus an exact ``row_coverage``
+  fraction (set ``degrade=False`` to get
+  :class:`~repro.errors.ShardUnavailableError` instead).
 - each machine has a RAM budget for column data. A sub-query needs its
   accessed fields resident; missing ones are loaded at disk bandwidth
   (the paper assumes ">= 100 MB/second") and kept under LRU.
@@ -33,9 +43,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.datastore import DataStoreOptions
-from repro.core.executor import make_executor
+from repro.core.executor import executor_names, make_executor
 from repro.core.result import QueryResult, ScanStats
 from repro.core.table import Table
+from repro.distributed.faults import (
+    NO_FAULTS,
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+    dispatch_sub_query,
+)
 from repro.distributed.shard import Shard, shard_table
 from repro.distributed.tree import (
     ComputationTree,
@@ -43,7 +60,8 @@ from repro.distributed.tree import (
     merge_group_partials,
 )
 from repro.core.result import finalize as finalize_rows
-from repro.errors import DistributedError
+from repro.errors import DistributedError, ShardUnavailableError
+from repro.monitoring import counters
 from repro.sql.ast_nodes import Query
 from repro.sql.parser import parse_query
 
@@ -78,6 +96,11 @@ class ClusterConfig:
     # RNG draws happen on the merge thread in shard order regardless.
     executor: str = "serial"
     workers: int | None = None
+    # Fault model (None = the inert plan: nothing ever fails) and the
+    # degradation policy when a shard loses every replica: serve an
+    # incomplete result (True) or raise ShardUnavailableError (False).
+    faults: FaultConfig | None = None
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         if self.n_machines < 1:
@@ -85,6 +108,33 @@ class ClusterConfig:
         if not 1 <= self.replication <= self.n_machines:
             raise DistributedError(
                 "replication must be between 1 and n_machines"
+            )
+        if self.executor not in executor_names():
+            raise DistributedError(
+                f"unknown executor {self.executor!r}; choose from "
+                f"{executor_names()}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise DistributedError(
+                f"workers must be >= 1 when given, got {self.workers}"
+            )
+        if self.fanout < 2:
+            raise DistributedError(
+                f"fanout must be >= 2, got {self.fanout}"
+            )
+        if self.load_sigma < 0:
+            raise DistributedError(
+                f"load_sigma must be >= 0, got {self.load_sigma}"
+            )
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise DistributedError(
+                "straggler_probability must be in [0, 1], got "
+                f"{self.straggler_probability}"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise DistributedError(
+                f"straggler_slowdown must be >= 1, got "
+                f"{self.straggler_slowdown}"
             )
 
 
@@ -98,6 +148,18 @@ class QueryMetrics:
     replica_wins: int = 0
     merge_operations: int = 0
     stats: ScanStats = field(default_factory=ScanStats)
+    # Fault handling (all zero / complete on a fault-free run).
+    retries: int = 0
+    failovers: int = 0
+    timeouts: int = 0
+    quarantines: int = 0
+    crashes: int = 0
+    machines_down: int = 0
+    backoff_seconds: float = 0.0
+    complete: bool = True
+    row_coverage: float = 1.0
+    unavailable_shards: tuple[int, ...] = ()
+    fault_events: list[FaultEvent] = field(default_factory=list)
 
     @property
     def served_from_memory(self) -> bool:
@@ -118,6 +180,12 @@ class _MachineMemory:
         if key in self._resident:
             self._resident.move_to_end(key)
             return 0
+        if size > self.capacity:
+            # An entry that alone overflows the budget must never be
+            # admitted: it would stay resident forever (eviction keeps
+            # one entry) and permanently blow the byte accounting.
+            # It streams from disk on every access instead.
+            return size
         self._resident[key] = size
         self._used += size
         while self._used > self.capacity and len(self._resident) > 1:
@@ -137,6 +205,10 @@ class SimulatedCluster:
         self.shards = shards
         self.config = config
         self._executor = make_executor(config.executor, config.workers)
+        self._fault_plan = FaultPlan(
+            config.faults if config.faults is not None else NO_FAULTS,
+            config.n_machines,
+        )
         self._rng = np.random.default_rng(config.seed)
         self._memories = [
             _MachineMemory(config.machine.memory_bytes)
@@ -204,44 +276,118 @@ class SimulatedCluster:
 
     # -- execution ---------------------------------------------------------------
     def execute(self, query: Query | str) -> tuple[QueryResult, QueryMetrics]:
-        """Run a query across all shards; returns result + sim metrics."""
+        """Run a query across all shards; returns result + sim metrics.
+
+        Every sub-query runs through the fault-handling engine
+        (:func:`repro.distributed.faults.dispatch_sub_query`): hedged
+        primary+replica dispatch, deadlines, CRC verification, bounded
+        retry with backoff. Shards whose every replica is dead or
+        unresponsive are dropped from the merge; the result is then
+        marked ``complete=False`` with an exact ``row_coverage``
+        fraction (or, with ``degrade=False``, the query raises
+        :class:`~repro.errors.ShardUnavailableError`).
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
+        query_index = self._query_count
         self._query_count += 1
+        plan = self._fault_plan
         metrics = QueryMetrics()
         merged_stats = ScanStats()
 
         leaf_partials = []
         leaf_rows: list | None = None
         slowest_sub_query = 0.0
+        # Shards with no live replica cannot answer; skip computing
+        # their partials entirely (nobody is up to compute them).
+        if plan.config.crash_rate > 0.0:
+            metrics.machines_down = len(plan.down_machines(query_index))
+            reachable = [
+                shard
+                for shard in self.shards
+                if any(
+                    not plan.is_down(m, query_index)
+                    for m in self._placement[shard.shard_id]
+                )
+            ]
+        else:
+            reachable = self.shards
         # Shard partials are independent (each shard owns its store);
         # fan them out over the executor. The deterministic cost model
-        # below stays on the merge thread, consuming results in shard
-        # order, so simulated timings are identical either way.
-        shard_results = self._executor.map_ordered(
-            lambda shard: shard.store.execute_partials(parsed), self.shards
+        # and every fault draw stay on the merge thread, consuming
+        # results in shard order, so simulated timings, fault events
+        # and counters are identical under any executor.
+        shard_results = dict(
+            zip(
+                (shard.shard_id for shard in reachable),
+                self._executor.map_ordered(
+                    lambda shard: shard.store.execute_partials(parsed),
+                    reachable,
+                ),
+            )
         )
-        for shard, (stats, partial) in zip(self.shards, shard_results):
-            merged_stats = merged_stats.merge(stats)
-            # The sub-query goes to the primary and every replica; all
-            # of them compute, the fastest answer wins.
-            times = []
-            for machine_index in self._placement[shard.shard_id]:
+        unavailable: list[int] = []
+        covered_rows = 0
+        for shard in self.shards:
+            metrics.sub_queries += 1
+            stats_partial = shard_results.get(shard.shard_id)
+            if stats_partial is None:
+                stats, partial = None, None
+            else:
+                stats, partial = stats_partial
+
+            def attempt_cost(machine_index: int) -> float:
                 seconds, disk_bytes = self._machine_time(
                     machine_index, shard, stats
                 )
                 metrics.bytes_loaded_from_disk += disk_bytes
-                times.append(seconds)
-            winner = int(np.argmin(times))
-            metrics.replica_wins += 1 if winner > 0 else 0
-            metrics.sub_queries += 1
-            slowest_sub_query = max(slowest_sub_query, min(times))
+                return seconds
+
+            outcome = dispatch_sub_query(
+                plan,
+                query_index,
+                shard.shard_id,
+                self._placement[shard.shard_id],
+                attempt_cost,
+                response=partial,
+            )
+            metrics.replica_wins += 1 if outcome.replica_win else 0
+            metrics.retries += outcome.retries
+            metrics.failovers += 1 if outcome.failover else 0
+            metrics.timeouts += outcome.timeouts
+            metrics.quarantines += outcome.quarantines
+            metrics.crashes += outcome.crashes
+            metrics.backoff_seconds += outcome.backoff_seconds
+            metrics.fault_events.extend(outcome.events)
+            slowest_sub_query = max(slowest_sub_query, outcome.seconds)
+            if not outcome.served:
+                unavailable.append(shard.shard_id)
+                continue
+            covered_rows += shard.n_rows
+            merged_stats = merged_stats.merge(stats)
             if isinstance(partial, list):
                 leaf_rows = (leaf_rows or []) + partial
             else:
                 leaf_partials.append(partial)
 
-        if leaf_rows is not None:
-            table = finalize_rows(leaf_rows, parsed)
+        metrics.unavailable_shards = tuple(unavailable)
+        metrics.complete = not unavailable
+        total_rows = self.total_rows()
+        metrics.row_coverage = (
+            covered_rows / total_rows if total_rows else 1.0
+        )
+        self._publish_fault_counters(metrics)
+        if unavailable and not self.config.degrade:
+            raise ShardUnavailableError(
+                f"shards {unavailable} lost every replica (query "
+                f"{query_index}); re-run with degrade=True to accept an "
+                f"incomplete result covering "
+                f"{metrics.row_coverage:.1%} of rows"
+            )
+
+        if leaf_rows is not None or (not leaf_partials and unavailable):
+            # Projection queries — and the fully-degraded case where no
+            # shard produced a partial at all — merge plain output rows.
+            table = finalize_rows(leaf_rows or [], parsed)
             merge_seconds = 0.0
             metrics.merge_operations = len(self.shards)
         else:
@@ -261,8 +407,27 @@ class SimulatedCluster:
             table=table,
             stats=merged_stats,
             elapsed_seconds=metrics.latency_seconds,
+            complete=metrics.complete,
+            row_coverage=metrics.row_coverage,
         )
         return result, metrics
+
+    def _publish_fault_counters(self, metrics: QueryMetrics) -> None:
+        """Bump the process-wide fault counters for one query."""
+        for name, amount in (
+            ("distributed.faults.retries", metrics.retries),
+            ("distributed.faults.failovers", metrics.failovers),
+            ("distributed.faults.timeouts", metrics.timeouts),
+            ("distributed.faults.quarantines", metrics.quarantines),
+            ("distributed.faults.crashes", metrics.crashes),
+            (
+                "distributed.faults.shards_unavailable",
+                len(metrics.unavailable_shards),
+            ),
+            ("distributed.faults.degraded_queries", 0 if metrics.complete else 1),
+        ):
+            if amount:
+                counters.increment(name, amount)
 
     # -- inspection ----------------------------------------------------------------
     @property

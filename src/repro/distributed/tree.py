@@ -144,17 +144,13 @@ def merge_group_partials(parts: list[GroupPartials]) -> GroupPartials:
             existing = merged.get(key)
             if existing is None:
                 # States are mutated on merge: keep shared inputs safe.
-                merged[key] = (values, [_copy_state(s) for s in states])
+                # AggState.copy() is a cheap per-class clone (deepcopy
+                # only as the base-class fallback).
+                merged[key] = (values, [s.copy() for s in states])
             else:
                 for mine, theirs in zip(existing[1], states):
                     mine.merge(theirs)
     return merged
-
-
-def _copy_state(state):
-    import copy
-
-    return copy.deepcopy(state)
 
 
 def finalize_partials(query: Query, merged: GroupPartials) -> Table:

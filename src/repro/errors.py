@@ -62,6 +62,19 @@ class DistributedError(ReproError):
     """The simulated cluster was misconfigured or a sub-query failed."""
 
 
+class ShardUnavailableError(DistributedError):
+    """Every replica of a shard is dead or unresponsive.
+
+    Only raised when the cluster runs with ``degrade=False``; the
+    default behaviour is to serve the query anyway, marked incomplete
+    (``complete=False`` plus an exact ``row_coverage`` fraction).
+    """
+
+
+class ResponseCorruptionError(DistributedError):
+    """A sub-query response failed its checksum and was quarantined."""
+
+
 class TableError(ReproError):
     """An in-memory table was constructed or accessed incorrectly."""
 

@@ -8,8 +8,10 @@ benches and deployments can print a "Section 6" report of their own.
 
 The module also hosts the process-wide :data:`counters` registry —
 named monotonically increasing counters that subsystems (the
-``repro.analysis`` lint/fsck tooling, caches, ...) bump as they work,
-so operational tooling has one place to read activity from.
+``repro.analysis`` lint/fsck tooling, caches, the distributed fault
+layer's ``distributed.faults.*`` retry/failover/timeout/quarantine/
+degradation counters, ...) bump as they work, so operational tooling
+has one place to read activity from.
 """
 
 from __future__ import annotations

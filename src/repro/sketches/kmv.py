@@ -84,6 +84,13 @@ class KmvSketch:
         for hashed in np.unique(candidates):
             self.add_hash(float(hashed))
 
+    def copy(self) -> "KmvSketch":
+        """A detached clone (cheap: one list + one set copy)."""
+        out = KmvSketch(self.m)
+        out._hashes = list(self._hashes)
+        out._members = set(self._members)
+        return out
+
     def merge(self, other: "KmvSketch") -> None:
         """Union another sketch into this one (sizes must match)."""
         if other.m != self.m:

@@ -216,6 +216,25 @@ def _width_dtype(payload: bytes, n: int) -> type:
     return dtype
 
 
+# -- checksums ---------------------------------------------------------------------
+
+
+def crc32_tag(body: bytes) -> bytes:
+    """The PDS2 whole-body checksum: CRC32 as 4 little-endian bytes.
+
+    Public because corruption detection is not only a file concern —
+    :mod:`repro.distributed.faults` seals simulated sub-query responses
+    with the same tag so a corrupted response fails verification before
+    its partial is merged.
+    """
+    return zlib.crc32(body).to_bytes(4, "little")
+
+
+def verify_crc32_tag(tag: bytes, body: bytes) -> bool:
+    """True when ``body`` hashes to the 4-byte ``tag`` (PDS2 layout)."""
+    return crc32_tag(body) == tag
+
+
 # -- whole store ------------------------------------------------------------------------
 
 
@@ -264,7 +283,7 @@ def save_store(store: DataStore, path: str) -> int:
             body += encode_chunk_dict(chunk.chunk_dict)
             body += encode_elements(chunk.elements)
     blob = bytearray(_MAGIC)
-    blob += zlib.crc32(bytes(body)).to_bytes(4, "little")
+    blob += crc32_tag(bytes(body))
     blob += body
     with open(path, "wb") as handle:
         handle.write(bytes(blob))
@@ -283,9 +302,9 @@ def load_store(path: str) -> DataStore:
     if magic == _MAGIC:
         if len(data) < 8:
             raise StorageError("store file truncated before checksum")
-        expected_crc = int.from_bytes(data[4:8], "little")
-        actual_crc = zlib.crc32(data[8:])
-        if actual_crc != expected_crc:
+        if not verify_crc32_tag(data[4:8], data[8:]):
+            expected_crc = int.from_bytes(data[4:8], "little")
+            actual_crc = zlib.crc32(data[8:])
             raise StorageError(
                 f"store file checksum mismatch: header says "
                 f"{expected_crc:#010x}, contents hash to {actual_crc:#010x} "

@@ -1,0 +1,225 @@
+"""The chaos benchmark: availability and coverage under injected faults.
+
+One reusable implementation behind both surfaces that run it:
+
+- ``repro chaos`` (the CLI) for ad-hoc runs, and
+- ``benchmarks/bench_fault_tolerance.py``, which records the repo's
+  fault-tolerance trajectory point (``BENCH_PR3.json``).
+
+The sweep builds one simulated cluster per crash rate — same data, same
+placement, same fault seed — and drives the same chaos query mix
+through each. Per rate it reports *availability* (the fraction of
+queries answered completely), mean *row coverage* (the fraction of rows
+degraded answers still cover), simulated latency percentiles, and the
+fault-handling totals (retries, failovers, timeouts, quarantines,
+crashes).
+
+The correctness gate rides along: every **complete** result is compared
+row-for-row against a fault-free reference cluster. Fault injection may
+cost latency and coverage, but it must never silently change an answer
+the system claims is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.datastore import DataStoreOptions
+from repro.distributed.cluster import ClusterConfig, SimulatedCluster
+from repro.distributed.faults import FaultConfig
+from repro.monitoring import percentile
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+#: The chaos query mix: the distributed group-by rewrite end to end
+#: (aggregation partials merged up the tree) plus one projection query
+#: (plain output rows merged at the root) — both code paths must
+#: degrade correctly.
+CHAOS_QUERIES = (
+    "SELECT country, COUNT(*) AS c, SUM(latency) AS s FROM data "
+    "GROUP BY country ORDER BY c DESC LIMIT 10",
+    "SELECT table_name, COUNT(*) AS c, AVG(latency) AS a FROM data "
+    "GROUP BY table_name ORDER BY c DESC LIMIT 10",
+    "SELECT country, MIN(latency) AS lo, MAX(latency) AS hi FROM data "
+    "GROUP BY country ORDER BY country",
+)
+
+
+@dataclass(frozen=True)
+class ChaosBenchConfig:
+    """Knobs for one chaos-benchmark run."""
+
+    rows: int = 24_000
+    n_shards: int = 6
+    n_machines: int = 8
+    replication: int = 2
+    queries_per_rate: int = 12
+    crash_rates: tuple[float, ...] = (0.0, 0.05, 0.2, 0.5)
+    timeout_rate: float = 0.02
+    slow_rate: float = 0.05
+    corruption_rate: float = 0.02
+    deadline_seconds: float = 0.5
+    max_retries: int = 2
+    fault_seed: int = 0
+    seed: int = 2012
+
+
+def _chaos_table(config: ChaosBenchConfig):
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 4000)),
+            n_teams=min(40, max(8, config.rows // 3000)),
+            seed=config.seed,
+        )
+    )
+
+
+def _build_cluster(
+    table: Any, config: ChaosBenchConfig, faults: FaultConfig | None
+) -> SimulatedCluster:
+    return SimulatedCluster.build(
+        table,
+        n_shards=config.n_shards,
+        store_options=DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=max(256, config.rows // 24),
+        ),
+        config=ClusterConfig(
+            n_machines=config.n_machines,
+            replication=config.replication,
+            seed=config.seed,
+            faults=faults,
+        ),
+    )
+
+
+def _fault_config(config: ChaosBenchConfig, crash_rate: float) -> FaultConfig:
+    return FaultConfig(
+        seed=config.fault_seed,
+        crash_rate=crash_rate,
+        timeout_rate=config.timeout_rate,
+        slow_rate=config.slow_rate,
+        corruption_rate=config.corruption_rate,
+        deadline_seconds=config.deadline_seconds,
+        max_retries=config.max_retries,
+    )
+
+
+def _query_mix(config: ChaosBenchConfig) -> list[str]:
+    return [
+        CHAOS_QUERIES[i % len(CHAOS_QUERIES)]
+        for i in range(config.queries_per_rate)
+    ]
+
+
+def run_chaos_bench(config: ChaosBenchConfig | None = None) -> dict[str, Any]:
+    """Sweep crash rates; returns the JSON-ready trajectory point."""
+    config = config or ChaosBenchConfig()
+    table = _chaos_table(config)
+    queries = _query_mix(config)
+
+    # The fault-free reference: what each query in the mix *should*
+    # return. Rows never depend on the cost model, only on the data,
+    # so one clean pass pins the answers for every rate.
+    reference = _build_cluster(table, config, faults=None)
+    expected = [reference.execute(sql)[0].sorted_rows() for sql in queries]
+
+    sweep: list[dict[str, Any]] = []
+    for crash_rate in config.crash_rates:
+        cluster = _build_cluster(
+            table, config, faults=_fault_config(config, crash_rate)
+        )
+        complete_queries = 0
+        complete_mismatches = 0
+        coverages: list[float] = []
+        latencies: list[float] = []
+        totals = {
+            "retries": 0,
+            "failovers": 0,
+            "timeouts": 0,
+            "quarantines": 0,
+            "crashes": 0,
+            "fault_events": 0,
+        }
+        for index, sql in enumerate(queries):
+            result, metrics = cluster.execute(sql)
+            coverages.append(metrics.row_coverage)
+            latencies.append(metrics.latency_seconds)
+            totals["retries"] += metrics.retries
+            totals["failovers"] += metrics.failovers
+            totals["timeouts"] += metrics.timeouts
+            totals["quarantines"] += metrics.quarantines
+            totals["crashes"] += metrics.crashes
+            totals["fault_events"] += len(metrics.fault_events)
+            if metrics.complete:
+                complete_queries += 1
+                if result.sorted_rows() != expected[index]:
+                    complete_mismatches += 1
+        ordered = sorted(latencies)
+        sweep.append(
+            {
+                "crash_rate": crash_rate,
+                "queries": len(queries),
+                "availability": complete_queries / len(queries),
+                "mean_row_coverage": sum(coverages) / len(coverages),
+                "min_row_coverage": min(coverages),
+                "latency_p50_ms": 1000 * percentile(ordered, 0.50),
+                "latency_p90_ms": 1000 * percentile(ordered, 0.90),
+                "latency_max_ms": 1000 * ordered[-1],
+                "complete_results_match_reference": complete_mismatches == 0,
+                **totals,
+            }
+        )
+    return {
+        "bench": "fault_tolerance",
+        "rows": config.rows,
+        "shards": config.n_shards,
+        "machines": config.n_machines,
+        "replication": config.replication,
+        "fault_seed": config.fault_seed,
+        "timeout_rate": config.timeout_rate,
+        "slow_rate": config.slow_rate,
+        "corruption_rate": config.corruption_rate,
+        "deadline_seconds": config.deadline_seconds,
+        "max_retries": config.max_retries,
+        "queries": list(CHAOS_QUERIES),
+        "sweep": sweep,
+    }
+
+
+def render_chaos_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary lines for a :func:`run_chaos_bench` result."""
+    lines = [
+        f"fault-tolerance bench — {report['rows']} rows over "
+        f"{report['shards']} shards on {report['machines']} machines "
+        f"(replication {report['replication']}, fault seed "
+        f"{report['fault_seed']})",
+        (
+            f"per-attempt faults: timeout {report['timeout_rate']:.0%}, "
+            f"slow {report['slow_rate']:.0%}, corrupt "
+            f"{report['corruption_rate']:.0%}; deadline "
+            f"{1000 * report['deadline_seconds']:.0f} ms, "
+            f"{report['max_retries']} retries"
+        ),
+        "",
+        "crash   avail   coverage   p90 ms   retries  failover  timeout  "
+        "quarantine",
+    ]
+    for point in report["sweep"]:
+        lines.append(
+            f"{point['crash_rate']:5.0%}  {point['availability']:6.1%}  "
+            f"{point['mean_row_coverage']:8.1%}  "
+            f"{point['latency_p90_ms']:7.1f}  "
+            f"{point['retries']:7d}  {point['failovers']:8d}  "
+            f"{point['timeouts']:7d}  {point['quarantines']:10d}"
+        )
+    all_match = all(
+        point["complete_results_match_reference"] for point in report["sweep"]
+    )
+    lines.append("")
+    lines.append(
+        "complete results == fault-free reference: "
+        + ("yes" if all_match else "NO — BUG")
+    )
+    return lines

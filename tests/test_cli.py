@@ -98,3 +98,37 @@ class TestInfoAndDemo:
         assert main(["demo", "--rows", "2000"]) == 0
         text = capsys.readouterr().out
         assert text.count("--") >= 3  # three query banners
+
+
+class TestChaos:
+    def test_chaos_sweep_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "chaos.json")
+        code = main(
+            [
+                "chaos",
+                "--rows", "3000",
+                "--queries", "3",
+                "--crash-rate", "0,0.4",
+                "--fault-seed", "7",
+                "--output", out,
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "fault-tolerance bench" in text
+        assert "avail" in text
+
+        import json
+
+        report = json.loads(open(out, encoding="utf-8").read())
+        assert report["fault_seed"] == 7
+        assert [p["crash_rate"] for p in report["sweep"]] == [0.0, 0.4]
+        assert report["sweep"][0]["availability"] == 1.0
+        assert all(
+            p["complete_results_match_reference"] for p in report["sweep"]
+        )
+
+    def test_chaos_rejects_bad_rate(self, capsys):
+        code = main(["chaos", "--rows", "2000", "--crash-rate", "1.5"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

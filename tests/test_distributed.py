@@ -297,6 +297,126 @@ class TestSimulatedCluster:
             ClusterConfig(n_machines=2, replication=3)
 
 
+class TestClusterConfigValidation:
+    def test_unknown_executor(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(executor="gpu")
+
+    def test_workers_below_one(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(executor="parallel", workers=0)
+
+    def test_fanout_below_two(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(fanout=1)
+
+    def test_negative_load_sigma(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(load_sigma=-0.1)
+
+    def test_straggler_probability_out_of_range(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(straggler_probability=1.5)
+        with pytest.raises(DistributedError):
+            ClusterConfig(straggler_probability=-0.1)
+
+    def test_straggler_slowdown_below_one(self):
+        with pytest.raises(DistributedError):
+            ClusterConfig(straggler_slowdown=0.5)
+
+    def test_valid_knobs_accepted(self):
+        config = ClusterConfig(
+            executor="parallel",
+            workers=2,
+            fanout=4,
+            load_sigma=0.0,
+            straggler_probability=1.0,
+            straggler_slowdown=1.0,
+        )
+        assert config.fanout == 4
+
+
+class TestMachineMemory:
+    def test_oversized_entry_never_resident(self):
+        from repro.distributed.cluster import _MachineMemory
+
+        memory = _MachineMemory(capacity_bytes=1000)
+        # An entry larger than the whole budget streams from disk on
+        # every touch — it must not be admitted (it could never be
+        # evicted down below capacity) and must keep charging disk.
+        assert memory.touch(("s", "huge"), 5000) == 5000
+        assert memory.touch(("s", "huge"), 5000) == 5000
+        # Small entries still cache normally alongside it.
+        assert memory.touch(("s", "small"), 100) == 100
+        assert memory.touch(("s", "small"), 100) == 0
+
+    def test_eviction_keeps_usage_bounded(self):
+        from repro.distributed.cluster import _MachineMemory
+
+        memory = _MachineMemory(capacity_bytes=250)
+        for index in range(10):
+            memory.touch(("s", index), 100)
+        resident = sum(memory._resident.values())
+        assert resident <= 250
+        # LRU: the most recent entry survived.
+        assert ("s", 9) in memory._resident
+
+
+class TestTreeDepthEdges:
+    def test_single_leaf_any_fanout(self):
+        assert ComputationTree(1, fanout=2).depth == 1
+        assert ComputationTree(1, fanout=16).depth == 1
+
+    def test_exactly_fanout_leaves(self):
+        assert ComputationTree(3, fanout=3).depth == 1
+        assert ComputationTree(16, fanout=16).depth == 1
+
+    def test_one_more_than_fanout(self):
+        assert ComputationTree(4, fanout=3).depth == 2
+        assert ComputationTree(17, fanout=16).depth == 2
+
+
+class TestPlacement:
+    def test_primary_first_and_distinct(self, log_table):
+        cluster = SimulatedCluster.build(
+            log_table, n_shards=5, store_options=_OPTIONS,
+            config=ClusterConfig(n_machines=6, replication=3, seed=11),
+        )
+        for shard_id in range(cluster.n_shards):
+            machines = cluster.placement_of(shard_id)
+            assert len(machines) == 3
+            assert len(set(machines)) == 3
+            assert all(0 <= m < 6 for m in machines)
+            # The first entry is the primary the dispatcher hedges from.
+            assert machines[0] == cluster._placement[shard_id][0]
+
+    def test_placement_of_returns_a_copy(self, log_table):
+        cluster = SimulatedCluster.build(
+            log_table, n_shards=2, store_options=_OPTIONS,
+            config=ClusterConfig(n_machines=4, seed=12),
+        )
+        machines = cluster.placement_of(0)
+        machines.append(99)
+        assert 99 not in cluster.placement_of(0)
+
+
+class TestQueryMetricsFields:
+    def test_served_from_memory(self):
+        from repro.distributed.cluster import QueryMetrics
+
+        assert QueryMetrics().served_from_memory
+        assert not QueryMetrics(bytes_loaded_from_disk=1).served_from_memory
+
+    def test_defaults_are_fault_free(self):
+        from repro.distributed.cluster import QueryMetrics
+
+        metrics = QueryMetrics()
+        assert metrics.complete
+        assert metrics.row_coverage == 1.0
+        assert metrics.unavailable_shards == ()
+        assert metrics.fault_events == []
+
+
 class TestEdgeCases:
     def test_single_shard_cluster(self, log_table):
         cluster = SimulatedCluster.build(

@@ -430,6 +430,111 @@ class TestChunkPartialMutation:
         assert report.ok
 
 
+class TestSleepRetry:
+    def test_time_sleep_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                time.sleep(0.5)
+            """,
+            select=["REP008"],
+        )
+        assert report.codes() == {"REP008"}
+        assert "backoff_delay" in report.findings[0].message
+
+    def test_bare_sleep_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from time import sleep
+
+            def f():
+                sleep(1)
+            """,
+            select=["REP008"],
+        )
+        assert report.codes() == {"REP008"}
+
+    def test_while_retry_loop_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(op):
+                while True:
+                    try:
+                        return op()
+                    except OSError:
+                        continue
+            """,
+            select=["REP008"],
+        )
+        assert report.codes() == {"REP008"}
+
+    def test_range_retry_loop_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(op):
+                for attempt in range(3):
+                    try:
+                        return op()
+                    except OSError:
+                        continue
+            """,
+            select=["REP008"],
+        )
+        assert report.codes() == {"REP008"}
+
+    def test_data_fallback_loop_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def sniff(values):
+                for kind in (int, float):
+                    try:
+                        return [kind(v) for v in values]
+                    except ValueError:
+                        continue
+                return values
+            """,
+            select=["REP008"],
+        )
+        assert report.ok
+
+    def test_faults_module_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def backoff(op):
+                while True:
+                    try:
+                        return op()
+                    except OSError:
+                        continue
+            """,
+            rel_path="distributed/faults.py",
+            select=["REP008"],
+        )
+        assert report.ok
+
+    def test_plain_loop_without_retry_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(items):
+                total = 0
+                while items:
+                    total += items.pop()
+                return total
+            """,
+            select=["REP008"],
+        )
+        assert report.ok
+
+
 class TestSuppressions:
     def test_line_suppression_silences(self, tmp_path):
         report = lint_snippet(
@@ -493,6 +598,7 @@ class TestEngine:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         } <= set(codes)
 
     def test_get_rule_unknown_raises(self):

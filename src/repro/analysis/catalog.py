@@ -88,6 +88,17 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "sleep or hand-rolled retry loop breaks reproducibility and "
         "hides failure accounting",
     ),
+    CatalogEntry(
+        "REP009",
+        "scalar-import-loop",
+        "no per-row .values loops or per-id .value(gid) calls inside "
+        "loops in the hot import modules (partition/codes.py, "
+        "storage/trie.py, storage/subdict.py)",
+        "import throughput rests on the bulk kernels (factorize_list, "
+        "the bulk trie builder, batched global_ids); a per-row Python "
+        "loop silently reintroduces the scalar pipeline, and deliberate "
+        "fallbacks must carry a justified suppression",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

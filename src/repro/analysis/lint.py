@@ -70,8 +70,10 @@ class LintRule:
     Subclasses set ``code``, ``name``, ``description`` and
     ``default_severity``, and implement :meth:`check`. Path scoping is
     declarative: ``only_dirs`` restricts a rule to top-level package
-    directories, ``exempt_files`` lists package-relative paths the rule
-    never applies to.
+    directories, ``only_files`` to specific package-relative paths
+    (matched by full relative path, or by basename so linting a single
+    file directly still applies the rule), and ``exempt_files`` lists
+    package-relative paths the rule never applies to.
     """
 
     code: str = ""
@@ -79,11 +81,18 @@ class LintRule:
     description: str = ""
     default_severity: Severity = Severity.ERROR
     only_dirs: tuple[str, ...] | None = None
+    only_files: tuple[str, ...] | None = None
     exempt_files: tuple[str, ...] = ()
 
     def applies_to(self, module: ModuleInfo) -> bool:
         if module.rel_path in self.exempt_files:
             return False
+        if self.only_files is not None:
+            basenames = {path.rsplit("/", 1)[-1] for path in self.only_files}
+            return (
+                module.rel_path in self.only_files
+                or module.rel_path in basenames
+            )
         if self.only_dirs is not None:
             return module.top_dir() in self.only_dirs
         return True

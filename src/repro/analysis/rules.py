@@ -1,4 +1,4 @@
-"""The built-in reprolint rules (REP001 — REP008).
+"""The built-in reprolint rules (REP001 — REP009).
 
 Each rule encodes one repo convention that keeps the storage layer's
 invariants enforceable:
@@ -22,6 +22,12 @@ invariants enforceable:
 - REP008 — no ``time.sleep`` and no ad-hoc retry loops outside the
   sanctioned backoff helper in :mod:`repro.distributed.faults`: delays
   and retries are *simulated* and deterministic, never slept for real.
+- REP009 — the hot import modules stay vectorized: no per-row loops
+  over ``column.values`` and no per-id ``.value(gid)`` calls inside
+  loops there; bulk kernels (``factorize_list``, the bulk trie
+  builder, ``Dictionary.global_ids``/``values()``) are the sanctioned
+  replacements, and deliberate scalar fallbacks carry a justified
+  suppression.
 """
 
 from __future__ import annotations
@@ -522,3 +528,99 @@ class NoPrintRule(LintRule):
                     "print() in library code; use repro.monitoring "
                     "counters/reports instead",
                 )
+
+
+#: Import-pipeline modules held to the vectorized-kernel contract.
+HOT_IMPORT_MODULES = (
+    "partition/codes.py",
+    "storage/trie.py",
+    "storage/subdict.py",
+)
+
+
+@lint_rule
+class ScalarImportLoopRule(LintRule):
+    """REP009: hot import modules must not fall back to per-row loops.
+
+    The import pipeline's throughput rests on three bulk kernels
+    (factorize, the bulk trie builder, batched dictionary lookups).
+    Inside the modules that implement them, a ``for``-loop or
+    comprehension iterating a ``.values`` attribute (one Python
+    iteration per row), or a single-argument ``.value(gid)`` call
+    inside a loop (one dictionary probe per id), silently reintroduces
+    the scalar behaviour this PR removed. Deliberate scalar fallbacks
+    (the equivalence oracles) carry a line suppression with a reason.
+    """
+
+    code = "REP009"
+    name = "scalar-import-loop"
+    description = (
+        "per-row loop over a .values attribute, or per-id .value(gid) "
+        "call inside a loop, in a hot import module; use the bulk "
+        "kernels (factorize_list, bulk trie build, global_ids) instead"
+    )
+    default_severity = Severity.ERROR
+    only_files = HOT_IMPORT_MODULES
+
+    def _is_values_attribute(self, node: ast.expr) -> bool:
+        """``something.values`` as a bare attribute (not a ``.values()``)."""
+        return isinstance(node, ast.Attribute) and node.attr == "values"
+
+    def _iter_loop_iterables(
+        self, node: ast.AST
+    ) -> Iterator[tuple[ast.expr, int, int]]:
+        """(iterable, line, col) for every loop/comprehension at ``node``."""
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.lineno, node.col_offset
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                yield gen.iter, node.lineno, node.col_offset
+
+    def _is_scalar_value_call(self, node: ast.AST) -> bool:
+        """A single-argument ``.value(x)`` call — one probe per id."""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "value"
+            and len(node.args) == 1
+            and not node.keywords
+        )
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        flagged_calls: set[int] = set()
+        for node in ast.walk(module.tree):
+            for iterable, line, col in self._iter_loop_iterables(node):
+                if self._is_values_attribute(iterable):
+                    yield RawFinding(
+                        line,
+                        col,
+                        "per-row loop over .values in a hot import "
+                        "module; use a bulk kernel (REP009)",
+                    )
+            if isinstance(
+                node,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                for inner in ast.walk(node):
+                    if (
+                        self._is_scalar_value_call(inner)
+                        and id(inner) not in flagged_calls
+                    ):
+                        flagged_calls.add(id(inner))
+                        yield RawFinding(
+                            inner.lineno,
+                            inner.col_offset,
+                            "per-id .value() call inside a loop in a hot "
+                            "import module; batch through "
+                            "Dictionary.global_ids/values() (REP009)",
+                        )

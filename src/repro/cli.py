@@ -114,6 +114,18 @@ def cmd_import(args: argparse.Namespace) -> int:
         f"{store.n_chunks} chunks in {time.perf_counter() - started:.2f}s; "
         f"wrote {size / 1024:.0f} KB to {args.output}"
     )
+    stats = store.import_stats
+    if stats is not None:
+        phases = ", ".join(
+            f"{name} {1000 * seconds:.1f} ms"
+            for name, seconds in stats.phase_seconds().items()
+        )
+        print(f"import phases: {phases}")
+        print(
+            f"import throughput: {stats.rows_per_second()['total']:,.0f} rows/s; "
+            f"dictionaries {stats.dictionary_bytes / 1024:.0f} KB, "
+            f"chunks {stats.chunk_bytes / 1024:.0f} KB"
+        )
     return 0
 
 
@@ -255,6 +267,30 @@ def cmd_bench_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_import(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.benchimport import (
+        ImportBenchConfig,
+        render_import_report,
+        run_import_bench,
+    )
+
+    config = ImportBenchConfig(
+        rows=args.rows,
+        chunk_rows=args.chunk_rows,
+        repeats=args.repeats,
+    )
+    report = run_import_bench(config)
+    print("\n".join(render_import_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -344,6 +380,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON report here"
     )
     p_scan.set_defaults(func=cmd_bench_scan)
+
+    p_import_bench = bench_sub.add_parser(
+        "import",
+        help="scalar-vs-vectorized import pipeline with per-phase stats",
+    )
+    p_import_bench.add_argument("--rows", type=int, default=60_000)
+    p_import_bench.add_argument(
+        "--chunk-rows", type=int, default=None, help="max rows per chunk"
+    )
+    p_import_bench.add_argument("--repeats", type=int, default=2)
+    p_import_bench.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_import_bench.set_defaults(func=cmd_bench_import)
 
     p_chaos = sub.add_parser(
         "chaos",

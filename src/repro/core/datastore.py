@@ -43,10 +43,15 @@ from repro.core.plan import is_aggregation_query, plan_group_query, resolve_grou
 from repro.core.restriction import ChunkStatus, compile_restriction
 from repro.core.result import QueryResult, ScanStats, finalize
 from repro.core.table import Table
-from repro.errors import BindError, ExecutionError, UnsupportedQueryError
-from repro.partition.codes import factorize
+from repro.errors import (
+    BindError,
+    ExecutionError,
+    PartitionError,
+    UnsupportedQueryError,
+)
+from repro.partition.codes import factorize, factorize_list
 from repro.partition.composite import PartitionSpec, partition_table
-from repro.partition.reorder import lexicographic_order, reorder_table
+from repro.partition.reorder import order_from_codes, reorder_table
 from repro.sketches.hashing import hash_to_unit
 from repro.sql.ast_nodes import (
     Aggregate,
@@ -221,11 +226,87 @@ def _dictionary_from_ordered(
         return SortedStringDictionary(non_null, has_null=has_null)
     if non_null and isinstance(non_null[0], tuple):
         return SortedTupleDictionary(non_null, has_null=has_null)
-    if non_null and any(isinstance(v, float) for v in non_null):
-        array = np.asarray(non_null, dtype=np.float64)
-    else:
-        array = np.asarray(non_null, dtype=np.int64)
+    # Let numpy's single C pass infer int64 (all ints) vs float64 (any
+    # float) instead of scanning isinstance per value; ints beyond
+    # int64 come back as an object array and take the explicit-dtype
+    # path, which raises OverflowError exactly as before.
+    array = np.asarray(non_null) if non_null else np.empty(0, dtype=np.int64)
+    if array.dtype not in (np.dtype(np.int64), np.dtype(np.float64)):
+        if non_null and any(isinstance(v, float) for v in non_null):
+            array = np.asarray(non_null, dtype=np.float64)
+        else:
+            array = np.asarray(non_null, dtype=np.int64)
     return NumericDictionary(array, has_null=has_null, optimized=optimized)
+
+
+@dataclass
+class ImportStats:
+    """Per-phase measurements of one ``DataStore.from_table`` import.
+
+    Timings are wall-clock seconds and exist for observability only —
+    they never influence what gets built (measurement, not semantics).
+    Sizes are the analytic encoded sizes the store reports elsewhere.
+    The phases mirror the import pipeline: factorize (raw values ->
+    codes + sorted distinct values), reorder (lexicographic row
+    permutation), partition (composite range split), dictionary-build,
+    and chunk-encode (chunk dicts + element arrays).
+    """
+
+    rows: int = 0
+    columns: int = 0
+    chunks: int = 0
+    factorize_seconds: float = 0.0
+    reorder_seconds: float = 0.0
+    partition_seconds: float = 0.0
+    dictionary_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    total_seconds: float = 0.0
+    dictionary_bytes: int = 0
+    chunk_bytes: int = 0
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Phase name -> wall-clock seconds, in pipeline order."""
+        return {
+            "factorize": self.factorize_seconds,
+            "reorder": self.reorder_seconds,
+            "partition": self.partition_seconds,
+            "dictionary": self.dictionary_seconds,
+            "encode": self.encode_seconds,
+        }
+
+    def rows_per_second(self) -> dict[str, float]:
+        """Phase name -> rows/sec throughput (0.0 for unmeasured phases)."""
+        out: dict[str, float] = {}
+        for name, seconds in self.phase_seconds().items():
+            out[name] = self.rows / seconds if seconds > 0 else 0.0
+        out["total"] = self.rows / self.total_seconds if self.total_seconds > 0 else 0.0
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (CLI ``--output`` and the import bench)."""
+        return {
+            "rows": self.rows,
+            "columns": self.columns,
+            "chunks": self.chunks,
+            "phase_seconds": self.phase_seconds(),
+            "total_seconds": self.total_seconds,
+            "dictionary_bytes": self.dictionary_bytes,
+            "chunk_bytes": self.chunk_bytes,
+            "rows_per_second": self.rows_per_second(),
+        }
+
+    def publish(self) -> None:
+        """Publish this import's measurements as monitoring counters."""
+        counters.increment("datastore.import.runs")
+        counters.increment("datastore.import.rows", self.rows)
+        counters.increment("datastore.import.chunks", self.chunks)
+        for name, seconds in self.phase_seconds().items():
+            counters.increment(
+                f"datastore.import.{name}_micros", int(seconds * 1e6)
+            )
+        counters.increment(
+            "datastore.import.total_micros", int(self.total_seconds * 1e6)
+        )
 
 
 class DataStore:
@@ -237,11 +318,13 @@ class DataStore:
         n_rows: int,
         chunk_row_counts: list[int],
         fields: dict[str, FieldStore],
+        import_stats: ImportStats | None = None,
     ) -> None:
         self.options = options
         self.n_rows = n_rows
         self.chunk_row_counts = chunk_row_counts
         self.fields = fields
+        self.import_stats = import_stats
         self._virtual_by_sql: dict[str, str] = {}
         self.executor: ExecutionStrategy = make_executor(
             options.executor, options.workers
@@ -263,36 +346,92 @@ class DataStore:
     def from_table(
         cls, table: Table, options: DataStoreOptions | None = None
     ) -> "DataStore":
-        """Run the import phase over ``table``."""
+        """Run the import phase over ``table``.
+
+        Partition fields are factorized exactly once: their codes drive
+        the lexicographic reorder (codes are permutation-invariant
+        ranks, so permuting them by the sort order matches refactorizing
+        the reordered table), then the composite partitioner, then the
+        per-chunk encode. Per-phase wall-clock lands in the attached
+        :class:`ImportStats`.
+        """
         options = options or DataStoreOptions()
-        if options.partition_fields and options.reorder_rows:
-            order = lexicographic_order(table, list(options.partition_fields))
+        stats = ImportStats(rows=table.n_rows, columns=len(table.field_names))
+        total_started = time.perf_counter()
+        partition_fields = (
+            list(options.partition_fields) if options.partition_fields else []
+        )
+        label = "reorder" if options.reorder_rows else "partition"
+        for name in partition_fields:
+            if name not in table:
+                raise PartitionError(f"{label} field {name!r} not in table")
+
+        phase_started = time.perf_counter()
+        codes_by_field: dict[str, tuple[np.ndarray, list[Any]]] = {}
+        for name in partition_fields:
+            if name not in codes_by_field:
+                codes_by_field[name] = factorize(table.column(name))
+        stats.factorize_seconds += time.perf_counter() - phase_started
+
+        phase_started = time.perf_counter()
+        if partition_fields and options.reorder_rows:
+            order = order_from_codes(
+                [codes_by_field[name][0] for name in partition_fields]
+            )
             table = reorder_table(table, order)
-        if options.partition_fields:
+            for name, (codes, ordered) in codes_by_field.items():
+                codes_by_field[name] = (codes[order], ordered)
+        stats.reorder_seconds += time.perf_counter() - phase_started
+
+        phase_started = time.perf_counter()
+        if partition_fields:
             spec = PartitionSpec(
                 tuple(options.partition_fields), options.max_chunk_rows
             )
-            chunk_rows = partition_table(table, spec)
+            chunk_rows = partition_table(
+                table,
+                spec,
+                field_codes=[codes_by_field[name][0] for name in spec.fields],
+            )
         else:
             chunk_rows = [np.arange(table.n_rows, dtype=np.int64)]
+        stats.partition_seconds += time.perf_counter() - phase_started
+
         fields: dict[str, FieldStore] = {}
         for name in table.field_names:
-            codes, ordered = factorize(table.column(name))
+            cached = codes_by_field.get(name)
+            if cached is not None:
+                codes, ordered = cached
+            else:
+                phase_started = time.perf_counter()
+                codes, ordered = factorize(table.column(name))
+                stats.factorize_seconds += time.perf_counter() - phase_started
+            phase_started = time.perf_counter()
             dictionary = _dictionary_from_ordered(
                 ordered, options.optimized_dicts
             )
+            stats.dictionary_seconds += time.perf_counter() - phase_started
+            phase_started = time.perf_counter()
             chunks = [
                 ColumnChunk.from_global_ids(
                     codes[rows], optimized=options.optimized_columns
                 )
                 for rows in chunk_rows
             ]
+            stats.encode_seconds += time.perf_counter() - phase_started
+            stats.dictionary_bytes += dictionary.size_bytes()
+            stats.chunk_bytes += sum(chunk.size_bytes() for chunk in chunks)
             fields[name] = FieldStore(name, dictionary, chunks)
+
+        stats.chunks = len(chunk_rows)
+        stats.total_seconds = time.perf_counter() - total_started
+        stats.publish()
         return cls(
             options,
             table.n_rows,
             [int(rows.size) for rows in chunk_rows],
             fields,
+            import_stats=stats,
         )
 
     @property
@@ -935,17 +1074,11 @@ def factorize_values(values: list[Any]) -> tuple[np.ndarray, list[Any]]:
     """Factorize a raw value list into (codes, sorted distinct values).
 
     None sorts first; mixed int/float are ordered numerically. This is
-    the list-input twin of :func:`repro.partition.codes.factorize`.
+    the list-input twin of :func:`repro.partition.codes.factorize` and
+    shares its vectorized kernel (with the scalar fallback for inputs
+    the typed paths cannot reproduce bit-identically).
     """
-    distinct = set(values)
-    has_null = None in distinct
-    distinct.discard(None)
-    ordered: list[Any] = ([None] if has_null else []) + sorted(distinct)
-    rank = {value: code for code, value in enumerate(ordered)}
-    codes = np.fromiter(
-        (rank[value] for value in values), dtype=np.int64, count=len(values)
-    )
-    return codes, ordered
+    return factorize_list(values)
 
 
 

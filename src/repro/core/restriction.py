@@ -249,10 +249,12 @@ def _leaf_masks_in(
     t = np.zeros(n_values, dtype=bool)
     n = np.zeros(n_values, dtype=bool)
     null_listed = any(v is None for v in values)
-    for value in values:
-        if value is None:
-            continue
-        gid = _lookup_gid(dictionary, value)
+    listed = [v for v in values if v is not None]
+    # One batched dictionary probe for the whole IN list; the int ->
+    # float retry mirrors _lookup_gid.
+    for value, gid in zip(listed, dictionary.global_ids(listed)):
+        if gid is None and isinstance(value, int) and not isinstance(value, bool):
+            gid = dictionary.global_id(float(value))
         if gid is not None:
             t[gid] = True
     if dictionary.has_null:
@@ -302,8 +304,7 @@ def _leaf_masks_truthy(dictionary: Dictionary) -> tuple[np.ndarray, np.ndarray]:
     n_values = len(dictionary)
     t = np.zeros(n_values, dtype=bool)
     n = np.zeros(n_values, dtype=bool)
-    for gid in range(n_values):
-        value = dictionary.value(gid)
+    for gid, value in enumerate(dictionary.values()):
         if value is None:
             n[gid] = True
         elif isinstance(value, str):

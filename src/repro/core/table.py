@@ -98,12 +98,10 @@ class Column:
     def take(self, indices: np.ndarray | Sequence[int]) -> "Column":
         """A new column with rows reordered/selected by ``indices``."""
         values = self.values
-        return Column(
-            self.name,
-            [values[int(i)] for i in indices],
-            dtype=self.dtype,
-            validate=False,
-        )
+        cells = np.empty(len(values), dtype=object)
+        cells[:] = values
+        picked = cells[np.asarray(indices, dtype=np.int64)].tolist()
+        return Column(self.name, picked, dtype=self.dtype, validate=False)
 
 
 class Schema:

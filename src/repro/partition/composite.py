@@ -80,18 +80,32 @@ def _range_split(
     return rows[left_mask], rows[~left_mask]
 
 
-def partition_table(table: Table, spec: PartitionSpec) -> list[np.ndarray]:
+def partition_table(
+    table: Table,
+    spec: PartitionSpec,
+    field_codes: list[np.ndarray] | None = None,
+) -> list[np.ndarray]:
     """Partition ``table`` into chunks of at most ``max_chunk_rows`` rows.
 
     Returns a list of row-index arrays (each sorted ascending so chunk-
     internal row order follows table order). Chunks that cannot be
     split further (all partition fields constant within them) may
     exceed the threshold, mirroring the paper's stopping rule.
+
+    ``field_codes`` optionally supplies pre-factorized codes for
+    ``spec.fields`` (one int64 array per field, in spec order) so
+    callers that already factorized the partition fields — the import
+    pipeline — don't pay for it twice.
     """
     for name in spec.fields:
         if name not in table:
             raise PartitionError(f"partition field {name!r} not in table")
-    field_codes = [factorize(table.column(name))[0] for name in spec.fields]
+    if field_codes is None:
+        field_codes = [factorize(table.column(name))[0] for name in spec.fields]
+    elif len(field_codes) != len(spec.fields):
+        raise PartitionError(
+            f"got {len(field_codes)} code arrays for {len(spec.fields)} fields"
+        )
 
     all_rows = np.arange(table.n_rows, dtype=np.int64)
     if table.n_rows <= spec.max_chunk_rows:

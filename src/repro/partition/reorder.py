@@ -35,9 +35,20 @@ def lexicographic_order(table: Table, fields: Sequence[str]) -> np.ndarray:
         if name not in table:
             raise PartitionError(f"reorder field {name!r} not in table")
     code_arrays = [factorize(table.column(name))[0] for name in fields]
+    return order_from_codes(code_arrays)
+
+
+def order_from_codes(code_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Lexicographic permutation from already-factorized code arrays.
+
+    Lets the import pipeline factorize each partition field once and
+    reuse the codes for reordering, partitioning and encoding.
+    """
+    if not code_arrays:
+        raise PartitionError("lexicographic reorder needs at least one field")
     # np.lexsort sorts by the LAST key first; reverse so fields[0] is
     # the primary key.
-    return np.lexsort(tuple(reversed(code_arrays)))
+    return np.lexsort(tuple(reversed(list(code_arrays))))
 
 
 def reorder_table(table: Table, order: np.ndarray) -> Table:

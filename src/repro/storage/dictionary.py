@@ -28,6 +28,44 @@ from repro.errors import DictionaryError
 #: Byte cost charged per value for the offset array of string payloads.
 _OFFSET_BYTES = 4
 
+#: Below this many queries the per-value path wins over batch setup.
+_BULK_LOOKUP_MIN = 8
+
+
+def _bulk_ranks(
+    sorted_values: np.ndarray,
+    queries: list[Any],
+    accepted: type | tuple[type, ...],
+    has_null: bool,
+) -> list[int | None]:
+    """Batched global-id lookup over a sorted object array.
+
+    One ``np.searchsorted`` over every query of an accepted type, then
+    an elementwise equality check to separate hits from misses. Queries
+    of other types miss (None), and None maps to global-id 0 exactly
+    when the dictionary holds NULL — mirroring ``Dictionary.global_id``.
+    """
+    out: list[int | None] = [None] * len(queries)
+    comparable: list[int] = []
+    for i, value in enumerate(queries):
+        if value is None:
+            if has_null:
+                out[i] = 0
+        elif isinstance(value, accepted) and not isinstance(value, bool):
+            comparable.append(i)
+    if not comparable or not sorted_values.size:
+        return out
+    offset = 1 if has_null else 0
+    probe = np.empty(len(comparable), dtype=object)
+    probe[:] = [queries[i] for i in comparable]
+    positions = np.searchsorted(sorted_values, probe)
+    clipped = np.minimum(positions, sorted_values.size - 1)
+    hits = (sorted_values[clipped] == probe) & (positions < sorted_values.size)
+    for k, i in enumerate(comparable):
+        if hits[k]:
+            out[i] = int(positions[k]) + offset
+    return out
+
 
 class Dictionary:
     """Base class: null-aware global-id <-> value mapping."""
@@ -148,6 +186,7 @@ class SortedStringDictionary(Dictionary):
     def __init__(self, values: Sequence[str], has_null: bool = False) -> None:
         super().__init__(has_null)
         self._values = list(values)
+        self._sorted_cache: np.ndarray | None = None
         if any(not isinstance(v, str) for v in self._values):
             raise DictionaryError("string dictionary requires str values")
         if any(
@@ -159,6 +198,21 @@ class SortedStringDictionary(Dictionary):
     @property
     def _n_non_null(self) -> int:
         return len(self._values)
+
+    def values(self) -> list[Any]:
+        if self._has_null:
+            return [None, *self._values]
+        return list(self._values)
+
+    def global_ids(self, values: Iterable[Any]) -> list[int | None]:
+        query = list(values)
+        if len(query) < _BULK_LOOKUP_MIN:
+            return [self.global_id(value) for value in query]
+        if self._sorted_cache is None:
+            cache = np.empty(len(self._values), dtype=object)
+            cache[:] = self._values
+            self._sorted_cache = cache
+        return _bulk_ranks(self._sorted_cache, query, str, self._has_null)
 
     def _value_at(self, index: int) -> str:
         return self._values[index]
@@ -234,6 +288,55 @@ class NumericDictionary(Dictionary):
             return index
         return None
 
+    def values(self) -> list[Any]:
+        non_null = self._values.tolist()
+        if self._has_null:
+            return [None, *non_null]
+        return non_null
+
+    def global_ids(self, values: Iterable[Any]) -> list[int | None]:
+        query = list(values)
+        if len(query) < _BULK_LOOKUP_MIN or not self._values.size:
+            return [self.global_id(value) for value in query]
+        out: list[int | None] = [None] * len(query)
+        offset = 1 if self._has_null else 0
+        # Ints and floats are batched separately so each batch keeps the
+        # exact dtype-promotion behaviour of the scalar searchsorted.
+        batches: dict[type, tuple[list[int], list[Any]]] = {
+            int: ([], []),
+            float: ([], []),
+        }
+        for i, value in enumerate(query):
+            if value is None:
+                if self._has_null:
+                    out[i] = 0
+            elif not isinstance(value, bool) and isinstance(value, (int, float)):
+                positions, probe = batches[int if isinstance(value, int) else float]
+                positions.append(i)
+                probe.append(value)
+        for dtype, (positions, probe) in (
+            (np.int64, batches[int]),
+            (np.float64, batches[float]),
+        ):
+            if not positions:
+                continue
+            try:
+                probe_array = np.asarray(probe, dtype=dtype)
+            except OverflowError:
+                # Ints outside int64: defer to the scalar path per value.
+                for i in positions:
+                    out[i] = self.global_id(query[i])
+                continue
+            found = np.searchsorted(self._values, probe_array)
+            clipped = np.minimum(found, self._values.size - 1)
+            hits = (self._values[clipped] == probe_array) & (
+                found < self._values.size
+            )
+            for k, i in enumerate(positions):
+                if hits[k]:
+                    out[i] = int(found[k]) + offset
+        return out
+
     def _rank_lower_bound(self, value: Any) -> int:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise DictionaryError(
@@ -298,6 +401,7 @@ class SortedTupleDictionary(Dictionary):
         super().__init__(has_null)
         self._values = list(values)
         self._keys = [_null_safe_key(v) for v in self._values]
+        self._sorted_cache: np.ndarray | None = None
         if any(
             self._keys[i] >= self._keys[i + 1]
             for i in range(len(self._keys) - 1)
@@ -307,6 +411,28 @@ class SortedTupleDictionary(Dictionary):
     @property
     def _n_non_null(self) -> int:
         return len(self._values)
+
+    def values(self) -> list[Any]:
+        if self._has_null:
+            return [None, *self._values]
+        return list(self._values)
+
+    def global_ids(self, values: Iterable[Any]) -> list[int | None]:
+        query = list(values)
+        if len(query) < _BULK_LOOKUP_MIN or not self._keys:
+            return [self.global_id(value) for value in query]
+        if self._sorted_cache is None:
+            cache = np.empty(len(self._keys), dtype=object)
+            cache[:] = self._keys
+            self._sorted_cache = cache
+        keyed = [
+            _null_safe_key(value) if isinstance(value, tuple) else value
+            for value in query
+        ]
+        # Key equality is equivalent to value equality (the null-safe
+        # key wrapping is injective), so ranks over keys are ranks over
+        # values.
+        return _bulk_ranks(self._sorted_cache, keyed, tuple, self._has_null)
 
     def _value_at(self, index: int) -> tuple:
         return self._values[index]

@@ -18,6 +18,11 @@ Every encoding exposes ``as_array()`` (dense uint32 chunk-ids, the form
 the group-by inner loop consumes), ``size_bytes()`` (the analytic
 payload size the memory experiments report) and ``to_bytes()`` (the
 serialized payload the compression experiments feed to the codecs).
+
+``as_array()`` caches the dense array after the first materialization
+and single-row ``[row]`` access never materializes it at all, so
+callers must treat the returned array as read-only (all in-tree
+callers only read it or derive new arrays from it).
 """
 
 from __future__ import annotations
@@ -68,6 +73,7 @@ class ConstantElements(Elements):
             raise EncodingError(f"row count must be >= 0, got {n_rows}")
         self._n_rows = n_rows
         self._chunk_id = chunk_id
+        self._dense: np.ndarray | None = None
 
     @property
     def n_rows(self) -> int:
@@ -78,7 +84,9 @@ class ConstantElements(Elements):
         return self._chunk_id
 
     def as_array(self) -> np.ndarray:
-        return np.full(self._n_rows, self._chunk_id, dtype=np.uint32)
+        if self._dense is None:
+            self._dense = np.full(self._n_rows, self._chunk_id, dtype=np.uint32)
+        return self._dense
 
     def size_bytes(self) -> int:
         # O(1): a row count and the single chunk-id.
@@ -102,6 +110,7 @@ class BitsetElements(Elements):
 
     def __init__(self, bits: BitSet) -> None:
         self._bits = bits
+        self._dense: np.ndarray | None = None
 
     @classmethod
     def from_ids(cls, ids: np.ndarray) -> "BitsetElements":
@@ -114,7 +123,9 @@ class BitsetElements(Elements):
         return len(self._bits)
 
     def as_array(self) -> np.ndarray:
-        return self._bits.to_numpy().astype(np.uint32)
+        if self._dense is None:
+            self._dense = self._bits.to_numpy().astype(np.uint32)
+        return self._dense
 
     def size_bytes(self) -> int:
         return self._bits.size_bytes()
@@ -137,6 +148,7 @@ class PackedElements(Elements):
             raise EncodingError(f"unsupported packed width {width}")
         self._width = width
         self._ids = np.ascontiguousarray(ids, dtype=self._DTYPES[width])
+        self._dense: np.ndarray | None = None
 
     @property
     def width(self) -> int:
@@ -147,7 +159,9 @@ class PackedElements(Elements):
         return int(self._ids.size)
 
     def as_array(self) -> np.ndarray:
-        return self._ids.astype(np.uint32, copy=False)
+        if self._dense is None:
+            self._dense = self._ids.astype(np.uint32, copy=False)
+        return self._dense
 
     def size_bytes(self) -> int:
         return self._ids.size * self._width

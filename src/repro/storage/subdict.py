@@ -84,23 +84,37 @@ class SubDictionarySet:
         self._loaded: set[str] = set()
 
         n_values = len(dictionary)
-        frequency = np.zeros(n_values, dtype=np.int64)
+        distinct_per_chunk: list[np.ndarray] = []
         for index, gids in enumerate(chunk_global_ids):
             if gids.size and int(gids.max()) >= n_values:
                 raise DictionaryError(
                     f"chunk {index} references global-id {int(gids.max())} "
                     f">= dictionary size {n_values}"
                 )
-            frequency[gids] += 1
+            distinct_per_chunk.append(np.unique(np.asarray(gids, dtype=np.int64)))
+        # Frequency = number of chunks a value occurs in: one bincount
+        # over the concatenated per-chunk distinct ids.
+        if distinct_per_chunk:
+            frequency = np.bincount(
+                np.concatenate(distinct_per_chunk), minlength=n_values
+            )
+        else:
+            frequency = np.zeros(n_values, dtype=np.int64)
         n_hot = int(round(hot_fraction * n_values))
         if n_hot:
             order = np.argsort(-frequency, kind="stable")
-            hot_ids = set(int(g) for g in order[:n_hot])
+            hot_ids = np.sort(order[:n_hot]).astype(np.int64)
         else:
-            hot_ids = set()
+            hot_ids = np.empty(0, dtype=np.int64)
 
-        def make(name: str, gids: set[int], chunks: frozenset[int]) -> SubDictionary:
-            entries = {gid: dictionary.value(gid) for gid in sorted(gids)}
+        # One bulk decode of the dictionary instead of a value() walk
+        # per sub-dictionary entry.
+        value_by_gid = dictionary.values()
+
+        def make(
+            name: str, gids: np.ndarray, chunks: frozenset[int]
+        ) -> SubDictionary:
+            entries = {int(gid): value_by_gid[int(gid)] for gid in gids}
             size = sum(
                 len(v.encode("utf-8")) + 8 if isinstance(v, str) else 12
                 for v in entries.values()
@@ -117,13 +131,20 @@ class SubDictionarySet:
         self._hot = make("hot", hot_ids, all_chunks)
         self._groups: list[SubDictionary] = []
         for start in range(0, len(chunk_global_ids), group_size):
-            group = range(start, min(start + group_size, len(chunk_global_ids)))
-            gids: set[int] = set()
-            for chunk_index in group:
-                gids.update(int(g) for g in chunk_global_ids[chunk_index])
-            gids -= hot_ids
+            stop = min(start + group_size, len(chunk_global_ids))
+            member = distinct_per_chunk[start:stop]
+            merged = (
+                np.unique(np.concatenate(member))
+                if member
+                else np.empty(0, dtype=np.int64)
+            )
+            remaining = np.setdiff1d(merged, hot_ids, assume_unique=True)
             self._groups.append(
-                make(f"group-{start // group_size}", gids, frozenset(group))
+                make(
+                    f"group-{start // group_size}",
+                    remaining,
+                    frozenset(range(start, stop)),
+                )
             )
 
     @classmethod

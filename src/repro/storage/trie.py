@@ -32,12 +32,15 @@ for nibble ``i``.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Sequence
 from typing import Any
+
+import numpy as np
 
 from repro.compress.varint import decode_varint, encode_varint
 from repro.errors import DictionaryError
-from repro.storage.dictionary import Dictionary
+from repro.storage.dictionary import _BULK_LOOKUP_MIN, _bulk_ranks, Dictionary
 
 _TERMINAL = 0x01
 _HAS_SKIP = 0x02
@@ -128,6 +131,195 @@ def _finish(node: _BuildNode) -> int:
     return count
 
 
+def reference_trie_bytes(values: Sequence[str]) -> bytes:
+    """Serialize via the original per-string insert builder.
+
+    Kept as the equivalence oracle for the bulk constructor: property
+    tests assert :func:`_bulk_trie_bytes` matches this byte-for-byte.
+    """
+    out = bytearray()
+    _serialize(_build(values), out)
+    return bytes(out)
+
+
+def _nibble_views(
+    values: Sequence[str],
+) -> tuple[list[bytes], list[bytes], list[bytes]]:
+    """Per-string nibble sequences plus both packed phase views.
+
+    Returns ``(seqs, even, odd)``: ``seqs[i]`` is string i's nibble
+    sequence one nibble per byte; ``even[i]`` is its UTF-8 encoding
+    (packing the nibbles from any even offset is pure slicing of it);
+    ``odd[i]`` packs the same nibbles shifted by one (so packing from
+    any odd offset is pure slicing too). All three come from single
+    vectorized passes over the concatenated encodings instead of
+    per-character Python loops.
+    """
+    encoded = [value.encode("utf-8") for value in values]
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    nibbles = np.empty(blob.size * 2 + 2, dtype=np.uint8)
+    nibbles[0:-2:2] = blob >> 4
+    nibbles[1:-2:2] = blob & 0x0F
+    nibbles[-2:] = 0
+    packed = nibbles[:-2].tobytes()
+    shifted = ((nibbles[1:-1:2] << 4) | nibbles[2::2]).tobytes() + b"\x00"
+    seqs: list[bytes] = []
+    odd: list[bytes] = []
+    pos = 0
+    for item in encoded:
+        size = len(item)
+        seqs.append(packed[2 * pos : 2 * (pos + size)])
+        odd.append(shifted[pos : pos + size + 1])
+        pos += size
+    return seqs, encoded, odd
+
+
+def _nibble_sequences(values: Sequence[str]) -> list[bytes]:
+    """Nibble sequences (one nibble per byte) for a batch of strings."""
+    return _nibble_views(values)[0]
+
+
+#: Above this padded-matrix size the LCP precompute falls back to a
+#: per-pair Python scan (one pathologically long string would otherwise
+#: allocate rows x longest-string bytes).
+_MAX_LCP_MATRIX_BYTES = 1 << 26
+
+
+def _adjacent_lcp(seqs: list[bytes]) -> list[int]:
+    """``lcp[i]`` = nibbles shared by ``seqs[i-1]`` and ``seqs[i]``.
+
+    (``lcp[0]`` is a placeholder 0.) Computed with one vectorized pass
+    over a zero-padded matrix: a sentinel column (16, not a nibble) at
+    each sequence's end makes prefix pairs diverge there, so the first
+    mismatch column is exactly the pair's common prefix length.
+    """
+    n = len(seqs)
+    if n < 2:
+        return [0] * n
+    longest = max(map(len, seqs))
+    if n * (longest + 1) <= _MAX_LCP_MATRIX_BYTES:
+        # One fixed-width 'S' array: numpy packs the rows in a single C
+        # pass; the appended sentinel (16, not a nibble) stops prefix
+        # pairs at the shorter sequence's end, so the first mismatch
+        # column is the exact nibble LCP. ('S' pads with 0x00, a valid
+        # nibble — hence the explicit sentinel.)
+        arr = np.array([s + b"\x10" for s in seqs])
+        width = arr.dtype.itemsize
+        mat = arr.view(np.uint8).reshape(n, width)
+        lcp = np.argmax(mat[:-1] != mat[1:], axis=1)
+        return [0, *lcp.tolist()]
+    out = [0]
+    for prev, cur in zip(seqs, seqs[1:]):
+        bound = min(len(prev), len(cur))
+        k = 0
+        while k < bound and prev[k] == cur[k]:
+            k += 1
+        out.append(k)
+    return out
+
+
+def _bulk_trie_bytes(values: Sequence[str]) -> bytes:
+    """Serialize the trie for strictly sorted distinct strings in one pass.
+
+    Works on the sorted nibble sequences directly: for the group of
+    strings sharing a prefix, the path-compressed skip is the longest
+    common extension of the first and last members (sorted order means
+    no intermediate member can diverge earlier), and the node is
+    terminal exactly when the first member ends there. Child runs are
+    looked up, not scanned: position ``i`` starts a new nibble run of
+    the (unique) node whose prefix length equals ``lcp[i]``, so the
+    boundaries of a node spanning ``[lo, hi)`` with prefix ``end`` are
+    the precomputed ``lcp == end`` positions inside ``(lo, hi)``. This
+    produces the same bytes as insert+compress+serialize without
+    building per-nibble node objects or rescanning groups per level.
+    """
+    if not values:
+        return reference_trie_bytes(values)
+    seqs, even_views, odd_views = _nibble_views(values)
+    by_lcp: dict[int, list[int]] = {}
+    for pos, prefix_len in enumerate(_adjacent_lcp(seqs)):
+        if pos:
+            by_lcp.setdefault(prefix_len, []).append(pos)
+
+    def packed_skip(index: int, depth: int, end: int) -> bytes:
+        """``_pack_nibbles(seqs[index][depth:end])`` by pure slicing."""
+        size = end - depth
+        n_bytes = (size + 1) >> 1
+        if depth & 1:
+            start = (depth - 1) >> 1
+            chunk = odd_views[index][start : start + n_bytes]
+        else:
+            start = depth >> 1
+            chunk = even_views[index][start : start + n_bytes]
+        if size & 1:
+            return chunk[:-1] + bytes([chunk[-1] & 0xF0])
+        return chunk
+
+    def emit(lo: int, hi: int, depth: int, is_root: bool) -> bytearray:
+        first = seqs[lo]
+        if is_root:
+            end = depth
+        elif hi - lo == 1:
+            # Single member: the skip runs to the string's end and the
+            # node is a terminal leaf — no probing, no children.
+            end = len(first)
+            if end > depth:
+                skip = end - depth
+                out = bytearray([_TERMINAL | _HAS_SKIP])
+                if skip < 0x80:
+                    out.append(skip)
+                else:
+                    out += encode_varint(skip)
+                out += packed_skip(lo, depth, end)
+            else:
+                out = bytearray([_TERMINAL])
+            out += b"\x00\x00\x01"  # empty child mask, count 1
+            return out
+        else:
+            end = depth
+            limit = len(first)
+            last = seqs[hi - 1]
+            while end < limit and first[end] == last[end]:
+                end += 1
+        terminal = len(first) == end
+        out = bytearray()
+        flags = (_TERMINAL if terminal else 0) | (
+            _HAS_SKIP if end > depth else 0
+        )
+        out.append(flags)
+        if end > depth:
+            skip = end - depth
+            if skip < 0x80:
+                out.append(skip)
+            else:
+                out += encode_varint(skip)
+            out += packed_skip(lo, depth, end)
+        positions = by_lcp.get(end)
+        if positions:
+            a = bisect_right(positions, lo)
+            starts = positions[a : bisect_left(positions, hi, a)]
+        else:
+            starts = []
+        if not terminal:
+            starts = [lo, *starts]
+        mask = 0
+        for start in starts:
+            mask |= 1 << seqs[start][end]
+        out += mask.to_bytes(2, "little")
+        out += encode_varint(hi - lo)
+        for child_lo, child_hi in zip(starts, [*starts[1:], hi]):
+            child_bytes = emit(child_lo, child_hi, end + 1, False)
+            child_size = len(child_bytes)
+            if child_size < 0x80:
+                out.append(child_size)
+            else:
+                out += encode_varint(child_size)
+            out += child_bytes
+        return out
+
+    return bytes(emit(0, len(seqs), 0, True))
+
+
 def _serialize(node: _BuildNode, out: bytearray) -> None:
     flags = (_TERMINAL if node.terminal else 0) | (
         _HAS_SKIP if node.skip else 0
@@ -157,17 +349,17 @@ class TrieDictionary(Dictionary):
         super().__init__(has_null)
         self._buffer = buffer
         self._count = n_values
+        self._all_values: list[str] | None = None
+        self._sorted_cache: np.ndarray | None = None
 
     @classmethod
     def from_sorted(
         cls, values: Sequence[str], has_null: bool = False
     ) -> "TrieDictionary":
         """Build from strictly sorted distinct strings."""
-        if any(values[i] >= values[i + 1] for i in range(len(values) - 1)):
+        if any(a >= b for a, b in zip(values, values[1:])):
             raise DictionaryError("trie dictionary requires strictly sorted input")
-        out = bytearray()
-        _serialize(_build(values), out)
-        return cls(bytes(out), len(values), has_null=has_null)
+        return cls(_bulk_trie_bytes(values), len(values), has_null=has_null)
 
     @classmethod
     def from_values(
@@ -224,9 +416,66 @@ class TrieDictionary(Dictionary):
     def _n_non_null(self) -> int:
         return self._count
 
+    def _decode_all(self) -> list[str]:
+        """Every stored string in rank order from one pre-order buffer walk.
+
+        Decoding the whole trie once and caching the list turns repeated
+        rank lookups (``values()``, bulk ``global_ids``) from per-value
+        root-to-leaf walks into plain list/array indexing.
+        """
+        if self._all_values is None:
+            out: list[str] = []
+            path = bytearray()
+            # Explicit stack instead of recursion: compressed tries can
+            # be deeper than the interpreter's recursion limit allows.
+            stack: list[tuple[int, int, int]] = [(0, 0, -1)]
+            while stack:
+                pos, base_len, edge = stack.pop()
+                del path[base_len:]
+                if edge >= 0:
+                    path.append(edge)
+                terminal, skip, mask, __, body = self._node(pos)
+                path.extend(skip)
+                if terminal:
+                    raw = bytes(
+                        (path[i] << 4) | path[i + 1]
+                        for i in range(0, len(path), 2)
+                    )
+                    out.append(raw.decode("utf-8"))
+                prefix_len = len(path)
+                for nibble, node_pos, __ in reversed(
+                    list(self._children(mask, body))
+                ):
+                    stack.append((node_pos, prefix_len, nibble))
+            if len(out) != self._count:
+                raise DictionaryError(
+                    f"corrupt trie: decoded {len(out)} values,"
+                    f" expected {self._count}"
+                )
+            self._all_values = out
+        return self._all_values
+
+    def values(self) -> list[Any]:
+        decoded = self._decode_all()
+        if self._has_null:
+            return [None, *decoded]
+        return list(decoded)
+
+    def global_ids(self, values: Iterable[Any]) -> list[int | None]:
+        query = list(values)
+        if len(query) < _BULK_LOOKUP_MIN or self._count == 0:
+            return [self.global_id(value) for value in query]
+        if self._sorted_cache is None:
+            cache = np.empty(self._count, dtype=object)
+            cache[:] = self._decode_all()
+            self._sorted_cache = cache
+        return _bulk_ranks(self._sorted_cache, query, str, self._has_null)
+
     def _value_at(self, index: int) -> str:
         if not 0 <= index < self._count:
             raise DictionaryError(f"trie rank {index} out of range")
+        if self._all_values is not None:
+            return self._all_values[index]
         nibbles: list[int] = []
         pos = 0
         remaining = index

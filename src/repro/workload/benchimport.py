@@ -1,0 +1,305 @@
+"""The import-pipeline benchmark: scalar vs vectorized ingestion.
+
+One reusable implementation behind both surfaces that run it:
+
+- ``repro bench import`` (the CLI) for ad-hoc runs, and
+- ``benchmarks/bench_import.py``, which records the repo's perf
+  trajectory point (``BENCH_PR4.json``) so ingestion regressions are
+  visible PR over PR.
+
+Besides timing, this module owns :func:`build_reference_store` — a
+frozen replica of the pre-vectorization import pipeline (scalar
+``factorize``, per-string-insert trie builder). The benchmark and the
+import-equivalence property tests both assert the vectorized pipeline
+serializes byte-identically to it, so "fast" can never drift from
+"correct" unnoticed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.fsck import fsck_store
+from repro.core.datastore import (
+    DataStore,
+    DataStoreOptions,
+    FieldStore,
+    _dictionary_from_ordered,
+)
+from repro.core.table import Table
+from repro.errors import PartitionError
+from repro.partition.codes import factorize, factorize_scalar
+from repro.partition.composite import PartitionSpec, partition_table
+from repro.storage.chunk import ColumnChunk
+from repro.storage.dictionary import (
+    Dictionary,
+    NumericDictionary,
+    SortedStringDictionary,
+    SortedTupleDictionary,
+)
+from repro.storage.serde import save_store
+from repro.storage.trie import TrieDictionary, reference_trie_bytes
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+
+@dataclass(frozen=True)
+class ImportBenchConfig:
+    """Knobs for one import-benchmark run."""
+
+    rows: int = 200_000
+    chunk_rows: int | None = None
+    repeats: int = 2
+    seed: int = 2012
+
+    def effective_chunk_rows(self) -> int:
+        if self.chunk_rows is not None:
+            return self.chunk_rows
+        return max(256, self.rows // 24)
+
+
+def _bench_table(config: ImportBenchConfig) -> Table:
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 4000)),
+            n_teams=min(40, max(8, config.rows // 3000)),
+            seed=config.seed,
+        )
+    )
+
+
+def _bench_options(config: ImportBenchConfig) -> DataStoreOptions:
+    return DataStoreOptions(
+        partition_fields=("country", "table_name"),
+        max_chunk_rows=config.effective_chunk_rows(),
+        reorder_rows=True,
+    )
+
+
+def _reference_dictionary(ordered: list[Any], optimized: bool) -> Dictionary:
+    """``_dictionary_from_ordered`` with the pre-change trie builder."""
+    has_null = bool(ordered) and ordered[0] is None
+    non_null = ordered[1:] if has_null else list(ordered)
+    if non_null and isinstance(non_null[0], str):
+        if optimized:
+            return TrieDictionary(
+                reference_trie_bytes(non_null), len(non_null), has_null=has_null
+            )
+        return SortedStringDictionary(non_null, has_null=has_null)
+    if non_null and isinstance(non_null[0], tuple):
+        return SortedTupleDictionary(non_null, has_null=has_null)
+    if non_null and any(isinstance(v, float) for v in non_null):
+        array = np.asarray(non_null, dtype=np.float64)
+    else:
+        array = np.asarray(non_null, dtype=np.int64)
+    return NumericDictionary(array, has_null=has_null, optimized=optimized)
+
+
+def build_reference_store(
+    table: Table, options: DataStoreOptions | None = None
+) -> DataStore:
+    """Import ``table`` with the pre-vectorization scalar pipeline.
+
+    Mirrors the original ``DataStore.from_table`` step for step: scalar
+    factorize per field (run again after the reorder, as the old code
+    did), ``np.lexsort`` over the scalar codes, the unchanged composite
+    partitioner, scalar dictionary construction, per-chunk encode. Used
+    as the byte-identity oracle by the import bench and property tests.
+    """
+    options = options or DataStoreOptions()
+    partition_fields = (
+        list(options.partition_fields) if options.partition_fields else []
+    )
+    for name in partition_fields:
+        if name not in table:
+            label = "reorder" if options.reorder_rows else "partition"
+            raise PartitionError(f"{label} field {name!r} not in table")
+    if partition_fields and options.reorder_rows:
+        code_arrays = [
+            factorize_scalar(table.column(name))[0] for name in partition_fields
+        ]
+        order = np.lexsort(tuple(reversed(code_arrays)))
+        table = table.take(order)
+    if partition_fields:
+        spec = PartitionSpec(
+            tuple(options.partition_fields), options.max_chunk_rows
+        )
+        chunk_rows = partition_table(
+            table,
+            spec,
+            field_codes=[
+                factorize_scalar(table.column(name))[0] for name in spec.fields
+            ],
+        )
+    else:
+        chunk_rows = [np.arange(table.n_rows, dtype=np.int64)]
+    fields: dict[str, FieldStore] = {}
+    for name in table.field_names:
+        codes, ordered = factorize_scalar(table.column(name))
+        dictionary = _reference_dictionary(ordered, options.optimized_dicts)
+        chunks = [
+            ColumnChunk.from_global_ids(
+                codes[rows], optimized=options.optimized_columns
+            )
+            for rows in chunk_rows
+        ]
+        fields[name] = FieldStore(name, dictionary, chunks)
+    return DataStore(
+        options,
+        table.n_rows,
+        [int(rows.size) for rows in chunk_rows],
+        fields,
+    )
+
+
+def serialized_store_bytes(store: DataStore) -> bytes:
+    """The exact PDS2 byte stream ``save_store`` would write."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        path = os.path.join(tmp, "store.pds")
+        save_store(store, path)
+        with open(path, "rb") as handle:
+            return handle.read()
+
+
+def _kernel_sweep(
+    table: Table, repeats: int
+) -> tuple[dict[str, float], list[tuple[np.ndarray, list[Any]]]]:
+    """Best-of-``repeats`` factorize + dictionary-build timings per path."""
+    timings = {
+        "scalar_factorize_seconds": float("inf"),
+        "vector_factorize_seconds": float("inf"),
+        "scalar_dictionary_seconds": float("inf"),
+        "vector_dictionary_seconds": float("inf"),
+    }
+    factorized: list[tuple[np.ndarray, list[Any]]] = []
+    columns = [table.column(name) for name in table.field_names]
+    for __ in range(repeats):
+        started = time.perf_counter()
+        scalar = [factorize_scalar(column) for column in columns]
+        timings["scalar_factorize_seconds"] = min(
+            timings["scalar_factorize_seconds"], time.perf_counter() - started
+        )
+        started = time.perf_counter()
+        factorized = [factorize(column) for column in columns]
+        timings["vector_factorize_seconds"] = min(
+            timings["vector_factorize_seconds"], time.perf_counter() - started
+        )
+        ordered_lists = [ordered for __, ordered in scalar]
+        started = time.perf_counter()
+        for ordered in ordered_lists:
+            _reference_dictionary(ordered, optimized=True)
+        timings["scalar_dictionary_seconds"] = min(
+            timings["scalar_dictionary_seconds"], time.perf_counter() - started
+        )
+        started = time.perf_counter()
+        for ordered in ordered_lists:
+            _dictionary_from_ordered(ordered, optimized=True)
+        timings["vector_dictionary_seconds"] = min(
+            timings["vector_dictionary_seconds"], time.perf_counter() - started
+        )
+    return timings, factorized
+
+
+def run_import_bench(config: ImportBenchConfig | None = None) -> dict[str, Any]:
+    """Run the import bench; returns the JSON-ready trajectory point."""
+    config = config or ImportBenchConfig()
+    table = _bench_table(config)
+    options = _bench_options(config)
+
+    best_store: DataStore | None = None
+    for __ in range(config.repeats):
+        store = DataStore.from_table(table, options)
+        assert store.import_stats is not None
+        if (
+            best_store is None
+            or best_store.import_stats is None
+            or store.import_stats.total_seconds
+            < best_store.import_stats.total_seconds
+        ):
+            best_store = store
+    assert best_store is not None and best_store.import_stats is not None
+    stats = best_store.import_stats
+
+    kernel_timings, __ = _kernel_sweep(table, config.repeats)
+    scalar_kernel_seconds = (
+        kernel_timings["scalar_factorize_seconds"]
+        + kernel_timings["scalar_dictionary_seconds"]
+    )
+    vector_kernel_seconds = (
+        kernel_timings["vector_factorize_seconds"]
+        + kernel_timings["vector_dictionary_seconds"]
+    )
+
+    reference_started = time.perf_counter()
+    reference_store = build_reference_store(table, options)
+    reference_seconds = time.perf_counter() - reference_started
+
+    vector_bytes = serialized_store_bytes(best_store)
+    reference_bytes = serialized_store_bytes(reference_store)
+    fsck_report = fsck_store(best_store)
+
+    report: dict[str, Any] = {
+        "bench": "import",
+        "rows": config.rows,
+        "columns": len(table.field_names),
+        "chunk_rows": config.effective_chunk_rows(),
+        "repeats": config.repeats,
+        "cpu_count": os.cpu_count(),
+        "import_stats": stats.as_dict(),
+        "reference_import_seconds": reference_seconds,
+        "import_speedup_vs_reference": (
+            reference_seconds / stats.total_seconds
+            if stats.total_seconds > 0
+            else 0.0
+        ),
+        "serialized_bytes": len(vector_bytes),
+        "serialization_identical": vector_bytes == reference_bytes,
+        "fsck_ok": fsck_report.ok,
+        **kernel_timings,
+        "factorize_dictionary_speedup": (
+            scalar_kernel_seconds / vector_kernel_seconds
+            if vector_kernel_seconds > 0
+            else 0.0
+        ),
+    }
+    return report
+
+
+def render_import_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary lines for a :func:`run_import_bench` result."""
+    stats = report["import_stats"]
+    lines = [
+        f"import bench — {report['rows']} rows x {report['columns']} columns "
+        f"into {stats['chunks']} chunks, {report['cpu_count']} CPU(s)",
+        "",
+        f"vectorized import: {1000 * stats['total_seconds']:8.1f} ms "
+        f"({stats['rows_per_second']['total']:,.0f} rows/s)",
+    ]
+    for phase, seconds in stats["phase_seconds"].items():
+        lines.append(
+            f"  {phase:<11} {1000 * seconds:8.1f} ms "
+            f"({stats['rows_per_second'][phase]:,.0f} rows/s)"
+        )
+    lines.append(
+        f"reference import:  {1000 * report['reference_import_seconds']:8.1f} ms "
+        f"(vectorized speedup {report['import_speedup_vs_reference']:.2f}x)"
+    )
+    lines.append(
+        f"factorize+dictionary kernels: scalar "
+        f"{1000 * (report['scalar_factorize_seconds'] + report['scalar_dictionary_seconds']):.1f} ms, "
+        f"vectorized "
+        f"{1000 * (report['vector_factorize_seconds'] + report['vector_dictionary_seconds']):.1f} ms "
+        f"(speedup {report['factorize_dictionary_speedup']:.2f}x)"
+    )
+    lines.append(
+        "serialization identical to reference: "
+        + ("yes" if report["serialization_identical"] else "NO — BUG")
+    )
+    lines.append("fsck: " + ("clean" if report["fsck_ok"] else "FINDINGS — BUG"))
+    return lines

@@ -25,7 +25,11 @@ class TestImport:
             ]
         )
         assert code == 0
-        assert "imported" in capsys.readouterr().out
+        text = capsys.readouterr().out
+        assert "imported" in text
+        assert "import phases:" in text
+        assert "factorize" in text
+        assert "rows/s" in text
         store = load_store(out)
         assert store.n_chunks > 1
         assert store.options.reorder_rows
@@ -98,6 +102,33 @@ class TestInfoAndDemo:
         assert main(["demo", "--rows", "2000"]) == 0
         text = capsys.readouterr().out
         assert text.count("--") >= 3  # three query banners
+
+
+class TestBenchImport:
+    def test_bench_import_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "import.json")
+        code = main(
+            [
+                "bench", "import",
+                "--rows", "2000",
+                "--repeats", "1",
+                "--output", out,
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "import bench" in text
+        assert "serialization identical to reference: yes" in text
+
+        import json
+
+        report = json.loads(open(out, encoding="utf-8").read())
+        assert report["rows"] == 2000
+        assert report["serialization_identical"] is True
+        assert report["fsck_ok"] is True
+        assert set(report["import_stats"]["phase_seconds"]) == {
+            "factorize", "reorder", "partition", "dictionary", "encode",
+        }
 
 
 class TestChaos:

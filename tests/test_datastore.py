@@ -262,3 +262,42 @@ class TestFactorizeValues:
         codes, ordered = factorize_values([2, 1.5, 2])
         assert ordered == [1.5, 2]
         assert codes.tolist() == [1, 0, 1]
+
+
+class TestImportStats:
+    def test_phases_and_sizes_populated(self, log_table, log_store):
+        stats = log_store.import_stats
+        assert stats is not None
+        assert stats.rows == log_table.n_rows
+        assert stats.columns == log_table.n_columns
+        assert stats.chunks == log_store.n_chunks
+        phases = stats.phase_seconds()
+        assert list(phases) == [
+            "factorize", "reorder", "partition", "dictionary", "encode",
+        ]
+        assert all(seconds >= 0 for seconds in phases.values())
+        assert sum(phases.values()) <= stats.total_seconds
+        assert stats.dictionary_bytes > 0
+        assert stats.chunk_bytes > 0
+
+    def test_throughput_and_dict_views(self, log_store):
+        stats = log_store.import_stats
+        as_dict = stats.as_dict()
+        assert as_dict["rows"] == stats.rows
+        assert as_dict["phase_seconds"] == stats.phase_seconds()
+        assert stats.rows_per_second()["total"] > 0
+
+    def test_unpartitioned_import_single_chunk(self, log_table):
+        store = DataStore.from_table(log_table, DataStoreOptions())
+        stats = store.import_stats
+        assert stats.chunks == 1
+        assert stats.rows == log_table.n_rows
+
+    def test_import_publishes_counters(self, log_table):
+        from repro.monitoring import counters
+
+        runs = counters.get("datastore.import.runs")
+        rows = counters.get("datastore.import.rows")
+        DataStore.from_table(log_table, DataStoreOptions())
+        assert counters.get("datastore.import.runs") == runs + 1
+        assert counters.get("datastore.import.rows") == rows + log_table.n_rows

@@ -95,3 +95,22 @@ class TestRoundTrips:
         assert len(encode_elements(ids, 200).to_bytes()) == 10
         assert len(encode_elements(ids, 300).to_bytes()) == 20
         assert len(encode_elements(ids, 70000).to_bytes()) == 40
+
+
+class TestDenseCache:
+    def _encodings(self):
+        return [
+            ConstantElements(5, 3),
+            BitsetElements.from_ids(np.array([0, 1, 1, 0], dtype=np.uint32)),
+            PackedElements(np.array([0, 2, 1], dtype=np.uint32), 1),
+        ]
+
+    def test_as_array_returns_cached_object(self):
+        for elements in self._encodings():
+            first = elements.as_array()
+            assert elements.as_array() is first
+
+    def test_getitem_never_materializes_dense(self):
+        for elements, expected in zip(self._encodings(), (3, 1, 2)):
+            assert elements[1] == expected
+            assert elements._dense is None

@@ -1,0 +1,171 @@
+"""Property tests: the vectorized import pipeline is byte-identical.
+
+The vectorized kernels (typed factorize, bulk trie build, dtype-inferred
+numeric dictionaries) must serialize to exactly the same PDS2 stream as
+``build_reference_store`` — the frozen replica of the pre-vectorization
+scalar pipeline. Hypothesis drives the corpora that historically break
+encoders: NULL-heavy, duplicate-heavy, empty, single-value and
+non-ASCII columns, mixed int/float, NUL bytes inside strings.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import Column, DataType, Table
+from repro.partition.codes import factorize_list, _factorize_scalar_list
+from repro.storage.dictionary import build_dictionary
+from repro.storage.subdict import SubDictionarySet
+from repro.storage.trie import (
+    _bulk_trie_bytes,
+    reference_trie_bytes,
+)
+from repro.workload.benchimport import (
+    build_reference_store,
+    serialized_store_bytes,
+)
+from repro.analysis.fsck import fsck_store
+
+# Alphabet mixes ASCII, a NUL byte, multi-byte UTF-8 and an astral
+# plane character so trie nibble packing sees every phase.
+_TEXT = st.text(alphabet="ab0\x00日本\U0001f600 _%'", max_size=8)
+
+_strings = st.one_of(_TEXT, st.none())
+_ints = st.one_of(
+    st.integers(min_value=-(2**61), max_value=2**61), st.none()
+)
+_floats = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.none(),
+)
+_mixed_numbers = st.one_of(_ints, _floats)
+
+
+def _duplicate_heavy(element_strategy):
+    """Columns drawn from a tiny pool, so most rows repeat a value."""
+
+    @st.composite
+    def inner(draw):
+        pool = draw(
+            st.lists(element_strategy, min_size=1, max_size=4)
+        )
+        n = draw(st.integers(min_value=1, max_value=50))
+        return [draw(st.sampled_from(pool)) for __ in range(n)]
+
+    return inner()
+
+
+@st.composite
+def _import_tables(draw):
+    n_rows = draw(st.integers(min_value=0, max_value=50))
+
+    def column(strategy):
+        return draw(
+            st.lists(strategy, min_size=n_rows, max_size=n_rows)
+        )
+
+    # "single-value" corpus: constant column, NULL or not.
+    constant = draw(st.one_of(_TEXT, st.none()))
+    return Table(
+        [
+            Column("s", column(_strings), DataType.STRING),
+            Column("n", column(_ints), DataType.INT),
+            Column("f", column(_mixed_numbers), DataType.FLOAT),
+            Column("c", [constant] * n_rows, DataType.STRING),
+        ]
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    _import_tables(),
+    st.booleans(),
+    st.sampled_from([None, ("s",), ("s", "n")]),
+)
+def test_store_bytes_match_reference(table, optimized, partition_fields):
+    options = DataStoreOptions(
+        partition_fields=partition_fields,
+        max_chunk_rows=7,
+        reorder_rows=partition_fields is not None,
+        optimized_columns=optimized,
+        optimized_dicts=optimized,
+    )
+    store = DataStore.from_table(table, options)
+    reference = build_reference_store(table, options)
+    assert serialized_store_bytes(store) == serialized_store_bytes(reference)
+    assert fsck_store(store).ok
+    assert store.import_stats is not None
+    assert store.import_stats.rows == table.n_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.one_of(
+        st.lists(_strings, max_size=60),
+        st.lists(_ints, max_size=60),
+        st.lists(_mixed_numbers, max_size=60),
+        _duplicate_heavy(_strings),
+        _duplicate_heavy(_mixed_numbers),
+    )
+)
+def test_factorize_matches_scalar(values):
+    codes, ordered = factorize_list(values)
+    ref_codes, ref_ordered = _factorize_scalar_list(values)
+    np.testing.assert_array_equal(codes, ref_codes)
+    assert codes.dtype == ref_codes.dtype
+    assert ordered == ref_ordered
+    # 2 vs 2.0 compare equal; the representative's *type* must match.
+    assert [type(v) for v in ordered] == [type(v) for v in ref_ordered]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_TEXT, max_size=40, unique=True))
+def test_bulk_trie_bytes_match_reference(values):
+    values = sorted(values)
+    assert _bulk_trie_bytes(values) == reference_trie_bytes(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(_strings, max_size=40),
+    st.lists(_strings, max_size=20),
+    st.booleans(),
+)
+def test_global_ids_batch_matches_scalar(values, probes, optimized):
+    dictionary = build_dictionary(values, optimized=optimized)
+    # Mix of present and absent probe values.
+    probes = probes + values[:5]
+    batch = dictionary.global_ids(probes)
+    scalar = [dictionary.global_id(value) for value in probes]
+    assert batch == scalar
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(_duplicate_heavy(_TEXT), min_size=1, max_size=4),
+    st.booleans(),
+)
+def test_subdict_entries_cover_chunks(chunks, optimized):
+    all_values = sorted({v for chunk in chunks for v in chunk})
+    dictionary = build_dictionary(all_values, optimized=optimized)
+    chunk_gids = [
+        np.unique(
+            np.asarray(
+                [gid for gid in dictionary.global_ids(chunk)],
+                dtype=np.int64,
+            )
+        )
+        for chunk in chunks
+    ]
+    subdicts = SubDictionarySet(dictionary, chunk_gids)
+    # Every chunk's values must be reachable through its sub-dictionaries,
+    # and the id -> value mapping must agree with the global dictionary.
+    for index, chunk in enumerate(chunks):
+        for value in set(chunk):
+            gid = subdicts.lookup_global_id(value, active_chunks={index})
+            assert gid == dictionary.global_id(value)
+            assert subdicts.lookup_value(gid) == value

@@ -1,6 +1,7 @@
 """Unit tests for the reprolint rules, suppressions and output formats."""
 
 import json
+import os
 import textwrap
 
 import pytest
@@ -535,6 +536,135 @@ class TestSleepRetry:
         assert report.ok
 
 
+class TestScalarImportLoop:
+    def test_values_loop_flagged_in_hot_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(column):
+                out = []
+                for v in column.values:
+                    out.append(v)
+                return out
+            """,
+            rel_path="partition/codes.py",
+            select=["REP009"],
+        )
+        assert report.codes() == {"REP009"}
+        assert "per-row loop over .values" in report.findings[0].message
+
+    def test_values_comprehension_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(column):
+                return [v for v in column.values if v is not None]
+            """,
+            rel_path="storage/subdict.py",
+            select=["REP009"],
+        )
+        assert report.codes() == {"REP009"}
+
+    def test_value_call_in_loop_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(dictionary, gids):
+                out = {}
+                for gid in gids:
+                    out[gid] = dictionary.value(gid)
+                return out
+            """,
+            rel_path="storage/trie.py",
+            select=["REP009"],
+        )
+        assert report.codes() == {"REP009"}
+        assert "per-id .value() call" in report.findings[0].message
+
+    def test_value_call_in_comprehension_flagged_once(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(dictionary, gids):
+                return {g: dictionary.value(g) for g in gids}
+            """,
+            rel_path="storage/subdict.py",
+            select=["REP009"],
+        )
+        assert len(report.findings) == 1
+
+    def test_values_method_call_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(mapping, dictionary):
+                for v in mapping.values():
+                    pass
+                return dictionary.values()
+            """,
+            rel_path="partition/codes.py",
+            select=["REP009"],
+        )
+        assert report.ok
+
+    def test_value_call_outside_loop_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(dictionary, gid):
+                return dictionary.value(gid)
+            """,
+            rel_path="storage/trie.py",
+            select=["REP009"],
+        )
+        assert report.ok
+
+    def test_rule_scoped_to_hot_modules(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(column):
+                return [v for v in column.values]
+            """,
+            rel_path="core/restriction.py",
+            select=["REP009"],
+        )
+        assert report.ok
+
+    def test_basename_match_for_direct_file_lint(self, tmp_path):
+        target = tmp_path / "codes.py"
+        target.write_text(
+            "def f(column):\n    return [v for v in column.values]\n"
+        )
+        report = run_lint([str(target)], select=["REP009"])
+        assert report.codes() == {"REP009"}
+
+    def test_justified_suppression_silences(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(column):
+                out = []
+                for v in column.values:  # reprolint: disable=REP009 -- oracle
+                    out.append(v)
+                return out
+            """,
+            rel_path="partition/codes.py",
+            select=["REP009"],
+        )
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_src_hot_modules_lint_clean(self):
+        root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+            "repro",
+        )
+        report = run_lint([root], select=["REP009"])
+        assert report.ok, [f.where for f in report.findings]
+
+
 class TestSuppressions:
     def test_line_suppression_silences(self, tmp_path):
         report = lint_snippet(
@@ -599,6 +729,7 @@ class TestEngine:
             "REP006",
             "REP007",
             "REP008",
+            "REP009",
         } <= set(codes)
 
     def test_get_rule_unknown_raises(self):

@@ -1,0 +1,68 @@
+"""Vectorized compression kernels (PR 5).
+
+Not a paper table — the fourth point of the repo's own perf trajectory:
+`BENCH_PR5.json` records per-codec encode/decode throughput (MB/s),
+compression ratios, and scalar-vs-kernel speedups, so later PRs can
+diff codec performance against it.
+
+What is asserted unconditionally (correctness, not speed):
+
+- every codec's kernel output is byte-identical to its frozen scalar
+  oracle in repro.compress.reference on the bench corpora;
+- every codec round-trips its corpus;
+- the registry's per-codec CompressionStats saw the traffic.
+
+The ≥3x decode-speedup criterion for the varint-stream and RLE kernels
+needs enough data to amortize numpy setup — on toy inputs constant
+factors dominate — so, like the import bench, it is gated on scale;
+the measured numbers are recorded in the JSON either way.
+
+The Huffman corpus stays small on purpose: the frozen scalar encoder
+accumulates its bitstream in one big int and is accidentally quadratic,
+so a large corpus times the oracle's pathology, not the codec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import RESULTS_DIR, emit_report
+from repro.workload.benchcompress import (
+    CompressBenchConfig,
+    render_compress_report,
+    run_compress_bench,
+)
+
+#: The acceptance run uses 200k rows/bytes; scale down only explicitly.
+COMPRESS_ROWS = int(os.environ.get("REPRO_BENCH_COMPRESS_ROWS", "200000"))
+
+
+def test_compress_kernel_trajectory():
+    config = CompressBenchConfig(rows=COMPRESS_ROWS, repeats=3)
+    report = run_compress_bench(config)
+    report["pr"] = 5
+
+    emit_report("compress_kernels", render_compress_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR5.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Correctness gates — these hold on any machine at any scale.
+    for name, entry in report["codecs"].items():
+        assert entry["byte_identical"], name
+        assert entry["round_trip"], name
+        assert entry["encoded_bytes"] > 0, name
+    for name in ("rle", "zippy", "lzo", "huffman"):
+        stats = report["codec_stats"][name]
+        assert stats["encode_calls"] > 0, name
+        assert stats["decode_calls"] > 0, name
+        assert stats["encode_errors"] == 0, name
+        assert stats["decode_errors"] == 0, name
+
+    # Speedup gates — need enough data for bulk kernels to amortize.
+    if config.rows >= 100_000:
+        assert report["codecs"]["varint-stream"]["decode_speedup"] >= 3.0
+        assert report["codecs"]["rle"]["decode_speedup"] >= 3.0

@@ -99,6 +99,17 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "loop silently reintroduces the scalar pipeline, and deliberate "
         "fallbacks must carry a justified suppression",
     ),
+    CatalogEntry(
+        "REP010",
+        "per-byte-codec-loop",
+        "no per-index buffer walks (cursor-advancing while loops or "
+        "for-range loops subscripting with the loop variable) in "
+        "repro/compress/* outside reference.py",
+        "codec throughput rests on the numpy bulk kernels; a per-byte "
+        "Python loop silently reintroduces the scalar path the frozen "
+        "oracle in compress/reference.py exists to check against, and "
+        "deliberate scalar loops must carry a justified suppression",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

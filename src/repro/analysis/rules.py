@@ -28,6 +28,13 @@ invariants enforceable:
   builder, ``Dictionary.global_ids``/``values()``) are the sanctioned
   replacements, and deliberate scalar fallbacks carry a justified
   suppression.
+- REP010 — the codec modules stay vectorized: no per-byte index
+  walks (``while`` cursor loops or ``for i in range(...)`` loops
+  subscripting buffers element-by-element) in ``repro/compress/*``;
+  the numpy bulk kernels are the sanctioned replacements, the frozen
+  scalar oracles live in ``compress/reference.py`` (exempt), and the
+  few deliberate scalar loops (greedy LZ parses, the Huffman heap
+  merge) carry justified suppressions.
 """
 
 from __future__ import annotations
@@ -624,3 +631,126 @@ class ScalarImportLoopRule(LintRule):
                             "import module; batch through "
                             "Dictionary.global_ids/values() (REP009)",
                         )
+
+
+def _is_simple_scalar_index(node: ast.expr) -> bool:
+    """An index expression built only from names, constants and arithmetic.
+
+    ``data[pos]``, ``out[i + 1]``, ``buf[-k]`` qualify; anything
+    involving a call, an attribute, another subscript or a numpy-style
+    fancy index (tuple/array expressions) does not — those are how the
+    bulk kernels legitimately subscript.
+    """
+    return all(
+        isinstance(
+            sub, (ast.Name, ast.Constant, ast.BinOp, ast.UnaryOp,
+                  ast.operator, ast.unaryop, ast.expr_context)
+        )
+        for sub in ast.walk(node)
+    )
+
+
+def _walk_own_body(loop: ast.While | ast.For | ast.AsyncFor) -> Iterator[ast.AST]:
+    """Walk a loop's subtree without descending into nested loops.
+
+    Nested loops are separate ``check`` subjects — judging (and
+    suppressing) each at its own header line keeps findings precise.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(loop))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@lint_rule
+class PerByteCodecLoopRule(LintRule):
+    """REP010: codec modules must not walk buffers one index at a time.
+
+    The compression kernels' throughput rests on numpy bulk operations
+    (see :mod:`repro.compress.bulk` and the vectorized codecs). Two
+    shapes reintroduce the scalar behaviour:
+
+    - a ``while`` loop that advances a cursor (``pos += ...``) and
+      subscripts with a plain scalar index (``data[pos]``) — the
+      classic per-byte decode walk;
+    - a ``for i in range(...)`` loop subscripting with its loop
+      variable (``out[i] = ...``).
+
+    Slices (``data[a:b]``) are always fine: slice-based loops advance
+    by whole matches/runs, not bytes. ``compress/reference.py`` — the
+    frozen scalar oracle — is exempt, and the deliberate scalar loops
+    that remain (greedy LZ parses, the Huffman heap merge) carry
+    same-line suppressions with reasons.
+    """
+
+    code = "REP010"
+    name = "per-byte-codec-loop"
+    description = (
+        "per-index while/for walk over a buffer in repro/compress/*; "
+        "use the numpy bulk kernels (reference.py, the scalar oracle, "
+        "is exempt)"
+    )
+    default_severity = Severity.ERROR
+    only_dirs = ("compress",)
+    exempt_files = ("compress/reference.py", "reference.py")
+
+    def _scalar_subscripts(
+        self, loop: ast.While | ast.For | ast.AsyncFor
+    ) -> Iterator[ast.Subscript]:
+        for node in _walk_own_body(loop):
+            if (
+                isinstance(node, ast.Subscript)
+                and not isinstance(node.slice, ast.Slice)
+                and _is_simple_scalar_index(node.slice)
+            ):
+                yield node
+
+    def _check_while(self, loop: ast.While) -> Iterator[RawFinding]:
+        has_cursor = any(
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Name)
+            for node in _walk_own_body(loop)
+        )
+        if not has_cursor:
+            return
+        for node in self._scalar_subscripts(loop):
+            yield RawFinding(
+                loop.lineno,
+                loop.col_offset,
+                "while loop advances a cursor and subscripts "
+                f"element-by-element (line {node.lineno}); use a numpy "
+                "bulk kernel (REP010)",
+            )
+            return  # one finding per loop header
+
+    def _check_for(self, loop: ast.For | ast.AsyncFor) -> Iterator[RawFinding]:
+        if not (
+            isinstance(loop.iter, ast.Call)
+            and isinstance(loop.iter.func, ast.Name)
+            and loop.iter.func.id == "range"
+            and isinstance(loop.target, ast.Name)
+        ):
+            return
+        loop_var = loop.target.id
+        for node in self._scalar_subscripts(loop):
+            if any(
+                isinstance(sub, ast.Name) and sub.id == loop_var
+                for sub in ast.walk(node.slice)
+            ):
+                yield RawFinding(
+                    loop.lineno,
+                    loop.col_offset,
+                    "for-range loop subscripts with its loop variable "
+                    f"(line {node.lineno}); use a numpy bulk kernel "
+                    "(REP010)",
+                )
+                return  # one finding per loop header
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.While):
+                yield from self._check_while(node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_for(node)

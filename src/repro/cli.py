@@ -291,6 +291,31 @@ def cmd_bench_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_compress(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.benchcompress import (
+        CompressBenchConfig,
+        render_compress_report,
+        run_compress_bench,
+    )
+
+    config = CompressBenchConfig(
+        rows=args.rows,
+        repeats=args.repeats,
+        huffman_bytes=args.huffman_bytes,
+        store_rows=args.store_rows,
+    )
+    report = run_compress_bench(config)
+    print("\n".join(render_compress_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -394,6 +419,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON report here"
     )
     p_import_bench.set_defaults(func=cmd_bench_import)
+
+    p_compress_bench = bench_sub.add_parser(
+        "compress",
+        help="scalar-oracle vs numpy-kernel codec throughput and ratios",
+    )
+    p_compress_bench.add_argument("--rows", type=int, default=60_000)
+    p_compress_bench.add_argument("--repeats", type=int, default=2)
+    p_compress_bench.add_argument(
+        "--huffman-bytes",
+        type=int,
+        default=1 << 16,
+        help="Huffman corpus cap (the scalar oracle encoder is quadratic)",
+    )
+    p_compress_bench.add_argument(
+        "--store-rows",
+        type=int,
+        default=12_000,
+        help="rows in the store whose serialization feeds the LZ codecs",
+    )
+    p_compress_bench.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_compress_bench.set_defaults(func=cmd_bench_compress)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -15,16 +15,24 @@ provides from-scratch, pure-Python equivalents:
   simplified bit-column RLE of Figure 3.
 
 All codecs round-trip arbitrary ``bytes`` and are registered in
-:mod:`repro.compress.registry` under stable names.
+:mod:`repro.compress.registry` under stable names. Hot paths are numpy
+bulk kernels, byte-identical to the scalar implementations frozen in
+:mod:`repro.compress.reference`; registry-level calls accumulate
+per-codec :class:`~repro.compress.registry.CompressionStats` mirrored
+into :data:`repro.monitoring.counters`.
 """
 
 from repro.compress.huffman import huffman_compress, huffman_decompress
 from repro.compress.lzo_like import lzo_compress, lzo_decompress
 from repro.compress.registry import (
+    CompressionStats,
+    all_compression_stats,
     available_codecs,
     compress,
+    compression_stats,
     decompress,
     get_codec,
+    reset_compression_stats,
 )
 from repro.compress.rle import (
     bit_rle_counter_count,
@@ -36,11 +44,15 @@ from repro.compress.rle import (
 from repro.compress.zippy import zippy_compress, zippy_decompress
 
 __all__ = [
+    "CompressionStats",
+    "all_compression_stats",
     "available_codecs",
     "bit_rle_counter_count",
     "compress",
+    "compression_stats",
     "decompress",
     "get_codec",
+    "reset_compression_stats",
     "huffman_compress",
     "huffman_decompress",
     "lzo_compress",

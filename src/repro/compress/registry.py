@@ -4,18 +4,89 @@ The hybrid storage layers (:mod:`repro.storage.layers`) and the
 column-io backend reference codecs by name so that the codec choice is
 a configuration knob, mirroring Section 5's "Other Compression
 Algorithms" evaluation.
+
+Every registry-level call is instrumented (PR 5): each codec carries a
+:class:`CompressionStats` record of bytes in/out, call counts and wall
+time per direction, and the same quantities are mirrored into the
+process-wide :data:`repro.monitoring.counters` registry under
+``compress.<codec>.*`` so operational tooling sees codec activity next
+to cache and fault counters. Callers that import a codec function
+directly (for example the column-io block kernels) bypass the wrappers
+by design — the stats describe named-codec usage.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.compress.huffman import huffman_compress, huffman_decompress
 from repro.compress.lzo_like import lzo_compress, lzo_decompress
 from repro.compress.rle import rle_decode_bytes, rle_encode_bytes
 from repro.compress.zippy import zippy_compress, zippy_decompress
 from repro.errors import CompressionError
+from repro.monitoring import counters
+
+
+@dataclass
+class CompressionStats:
+    """Cumulative per-codec activity, split by direction.
+
+    ``*_seconds`` is wall time inside the codec function; errors count
+    calls that raised (their bytes are *not* added to ``*_bytes_in``).
+    """
+
+    name: str
+    encode_calls: int = 0
+    encode_bytes_in: int = 0
+    encode_bytes_out: int = 0
+    encode_seconds: float = 0.0
+    encode_errors: int = 0
+    decode_calls: int = 0
+    decode_bytes_in: int = 0
+    decode_bytes_out: int = 0
+    decode_seconds: float = 0.0
+    decode_errors: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed bytes per compressed byte on the encode path."""
+        if not self.encode_bytes_out:
+            return 0.0
+        return self.encode_bytes_in / self.encode_bytes_out
+
+    @property
+    def encode_mb_per_s(self) -> float:
+        if self.encode_seconds <= 0.0:
+            return 0.0
+        return self.encode_bytes_in / self.encode_seconds / (1 << 20)
+
+    @property
+    def decode_mb_per_s(self) -> float:
+        """Throughput in *decompressed* megabytes per second."""
+        if self.decode_seconds <= 0.0:
+            return 0.0
+        return self.decode_bytes_out / self.decode_seconds / (1 << 20)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """A JSON-friendly snapshot including the derived rates."""
+        return {
+            "name": self.name,
+            "encode_calls": self.encode_calls,
+            "encode_bytes_in": self.encode_bytes_in,
+            "encode_bytes_out": self.encode_bytes_out,
+            "encode_seconds": self.encode_seconds,
+            "encode_errors": self.encode_errors,
+            "decode_calls": self.decode_calls,
+            "decode_bytes_in": self.decode_bytes_in,
+            "decode_bytes_out": self.decode_bytes_out,
+            "decode_seconds": self.decode_seconds,
+            "decode_errors": self.decode_errors,
+            "compression_ratio": self.compression_ratio,
+            "encode_mb_per_s": self.encode_mb_per_s,
+            "decode_mb_per_s": self.decode_mb_per_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -25,6 +96,49 @@ class Codec:
     name: str
     compress: Callable[[bytes], bytes]
     decompress: Callable[[bytes], bytes]
+    stats: CompressionStats = field(compare=False, default=None)  # type: ignore[assignment]
+
+
+_STATS: dict[str, CompressionStats] = {}
+
+
+def _instrumented(
+    name: str, fn: Callable[[bytes], bytes], direction: str
+) -> Callable[[bytes], bytes]:
+    """Wrap a codec function with stats and monitoring counters."""
+    prefix = f"compress.{name}.{direction}"
+
+    def wrapper(data: bytes) -> bytes:
+        stats = _STATS[name]
+        start = time.perf_counter()
+        try:
+            out = fn(data)
+        except CompressionError:
+            counters.increment(f"{prefix}_errors")
+            if direction == "encode":
+                stats.encode_errors += 1
+            else:
+                stats.decode_errors += 1
+            raise
+        elapsed = time.perf_counter() - start
+        if direction == "encode":
+            stats.encode_calls += 1
+            stats.encode_bytes_in += len(data)
+            stats.encode_bytes_out += len(out)
+            stats.encode_seconds += elapsed
+        else:
+            stats.decode_calls += 1
+            stats.decode_bytes_in += len(data)
+            stats.decode_bytes_out += len(out)
+            stats.decode_seconds += elapsed
+        counters.increment(f"{prefix}_calls")
+        counters.increment(f"{prefix}_bytes_in", len(data))
+        counters.increment(f"{prefix}_bytes_out", len(out))
+        counters.increment(f"{prefix}_micros", int(elapsed * 1_000_000))
+        return out
+
+    wrapper.__name__ = f"{name}_{direction}"
+    return wrapper
 
 
 def _identity(data: bytes) -> bytes:
@@ -39,15 +153,31 @@ def _zippy_huffman_decompress(data: bytes) -> bytes:
     return zippy_decompress(huffman_decompress(data))
 
 
+def _register(
+    name: str,
+    compress_fn: Callable[[bytes], bytes],
+    decompress_fn: Callable[[bytes], bytes],
+) -> Codec:
+    _STATS[name] = CompressionStats(name=name)
+    return Codec(
+        name,
+        _instrumented(name, compress_fn, "encode"),
+        _instrumented(name, decompress_fn, "decode"),
+        _STATS[name],
+    )
+
+
 _CODECS: dict[str, Codec] = {
     codec.name: codec
     for codec in (
-        Codec("none", _identity, _identity),
-        Codec("zippy", zippy_compress, zippy_decompress),
-        Codec("lzo", lzo_compress, lzo_decompress),
-        Codec("huffman", huffman_compress, huffman_decompress),
-        Codec("zippy+huffman", _zippy_huffman_compress, _zippy_huffman_decompress),
-        Codec("rle", rle_encode_bytes, rle_decode_bytes),
+        _register("none", _identity, _identity),
+        _register("zippy", zippy_compress, zippy_decompress),
+        _register("lzo", lzo_compress, lzo_decompress),
+        _register("huffman", huffman_compress, huffman_decompress),
+        _register(
+            "zippy+huffman", _zippy_huffman_compress, _zippy_huffman_decompress
+        ),
+        _register("rle", rle_encode_bytes, rle_decode_bytes),
     )
 }
 
@@ -78,3 +208,22 @@ def compress(name: str, data: bytes) -> bytes:
 def decompress(name: str, data: bytes) -> bytes:
     """Decompress ``data`` with the named codec."""
     return get_codec(name).decompress(data)
+
+
+def compression_stats(name: str) -> CompressionStats:
+    """The live :class:`CompressionStats` for the named codec."""
+    get_codec(name)  # raise the usual error for unknown names
+    return _STATS[name]
+
+
+def all_compression_stats() -> dict[str, CompressionStats]:
+    """Name -> live stats for every registered codec, sorted by name."""
+    return {name: _STATS[name] for name in available_codecs()}
+
+
+def reset_compression_stats() -> None:
+    """Zero every codec's stats (the monitoring counters are unaffected;
+    reset those via :func:`repro.monitoring.counters.reset`)."""
+    for name, stats in _STATS.items():
+        # Update in place: Codec.stats references stay live.
+        stats.__dict__.update(CompressionStats(name=name).__dict__)

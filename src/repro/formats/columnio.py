@@ -19,21 +19,30 @@ codec (zippy by default). The header records per-column block offsets
 so a scan touches only the referenced columns — ``memory_bytes``
 reports exactly those columns' compressed bytes, which is how the paper
 accounts Dremel's memory in Table 1.
+
+INT and FLOAT block bodies are encoded and decoded with the bulk
+varint/zigzag kernels of :mod:`repro.compress.varint` (PR 5) — one
+vectorized pass per block instead of one ``decode_zigzag`` call per
+cell; STRING blocks keep the scalar walk because each value's length
+prefix feeds the next read position. Codec activity is visible via
+:meth:`ColumnIoBackend.codec_stats`.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import struct
 from collections.abc import Iterator
 
-from repro.compress.registry import get_codec
+import numpy as np
+
+from repro.compress.registry import CompressionStats, get_codec
 from repro.compress.varint import (
     decode_varint,
-    decode_zigzag,
+    decode_zigzag_stream,
     encode_varint,
     encode_zigzag,
+    encode_zigzag_array,
 )
 from repro.core.table import DataType, Schema, Table
 from repro.errors import TableError
@@ -48,20 +57,32 @@ _DEFAULT_BLOCK_ROWS = 8192
 def _encode_block(values: list, dtype: DataType) -> bytes:
     n = len(values)
     bitmap = BitSet(n)
-    body = bytearray()
+    non_null = []
     for index, value in enumerate(values):
         if value is None:
             continue
         bitmap.set(index)
-        if dtype is DataType.STRING:
-            raw = value.encode("utf-8")
-            body += encode_varint(len(raw))
-            body += raw
-        elif dtype is DataType.INT:
-            body += encode_zigzag(int(value))
-        else:
-            body += struct.pack("<d", float(value))
-    return encode_varint(n) + bitmap.to_bytes() + bytes(body)
+        non_null.append(value)
+    head = encode_varint(n) + bitmap.to_bytes()
+    if dtype is DataType.INT:
+        try:
+            arr = np.asarray([int(v) for v in non_null], dtype=np.int64)
+        except OverflowError:
+            # Ints beyond int64: the scalar encoder handles any width.
+            body = bytearray()
+            for value in non_null:
+                body += encode_zigzag(int(value))
+            return head + bytes(body)
+        return head + encode_zigzag_array(arr)
+    if dtype is not DataType.STRING:
+        packed = np.asarray([float(v) for v in non_null], dtype="<f8")
+        return head + packed.tobytes()
+    body = bytearray()
+    for value in non_null:
+        raw = value.encode("utf-8")
+        body += encode_varint(len(raw))
+        body += raw
+    return head + bytes(body)
 
 
 def _decode_block(data: bytes, dtype: DataType) -> list:
@@ -69,20 +90,23 @@ def _decode_block(data: bytes, dtype: DataType) -> list:
     bitmap_bytes = (n + 7) // 8
     bitmap = BitSet.from_bytes(data[pos : pos + bitmap_bytes], n)
     pos += bitmap_bytes
-    present = bitmap.to_numpy()
+    present = bitmap.to_numpy().view(bool)  # 0/1 uint8 -> boolean mask
+    count = int(np.count_nonzero(present))
+    slots = np.full(n, None, dtype=object)
+    if dtype is DataType.INT:
+        decoded, pos = decode_zigzag_stream(data, count, pos)
+        # Assign via list so slots hold Python ints, not np.int64.
+        slots[present] = decoded.tolist()
+        return slots.tolist()
+    if dtype is not DataType.STRING:
+        packed = np.frombuffer(data, dtype="<f8", count=count, offset=pos)
+        slots[present] = packed.tolist()
+        return slots.tolist()
     values: list = [None] * n
-    for index in range(n):
-        if not present[index]:
-            continue
-        if dtype is DataType.STRING:
-            size, pos = decode_varint(data, pos)
-            values[index] = data[pos : pos + size].decode("utf-8")
-            pos += size
-        elif dtype is DataType.INT:
-            values[index], pos = decode_zigzag(data, pos)
-        else:
-            (values[index],) = struct.unpack_from("<d", data, pos)
-            pos += 8
+    for index in np.flatnonzero(present).tolist():
+        size, pos = decode_varint(data, pos)
+        values[index] = data[pos : pos + size].decode("utf-8")
+        pos += size
     return values
 
 
@@ -189,6 +213,10 @@ class ColumnIoBackend(Backend):
     def column_compressed_bytes(self, name: str) -> int:
         """Compressed on-disk footprint of one column."""
         return sum(block["size"] for block in self._columns[name]["blocks"])
+
+    def codec_stats(self) -> CompressionStats:
+        """Live per-codec stats for this file's codec (process-wide)."""
+        return self._codec.stats
 
     def _referenced_columns(self, query: Query | None) -> list[str]:
         if query is None:

@@ -21,11 +21,15 @@ import os
 import struct
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.compress.varint import (
     decode_varint,
     decode_zigzag,
     encode_varint,
+    encode_varint_array,
     encode_zigzag,
+    varint_lengths,
 )
 from repro.core.table import DataType, Schema, Table
 from repro.errors import TableError
@@ -56,12 +60,96 @@ def _encode_record(row: tuple, dtypes: list[DataType]) -> bytes:
     return bytes(encode_varint(len(body))) + bytes(body)
 
 
+def _column_pieces(values: list, dtype: DataType, field_number: int) -> list[bytes]:
+    """Per-row encoded (tag + payload) pieces for one column.
+
+    NULL rows map to ``b""``. Numeric payloads are produced by the bulk
+    varint kernels — one vectorized pass per column, then per-row
+    slicing of the blob — and are byte-identical to the per-value
+    scalar encoders.
+    """
+    if dtype is DataType.INT:
+        tag = bytes(encode_varint((field_number << 3) | _WIRE_VARINT))
+        non_null = [int(v) for v in values if v is not None]
+        try:
+            arr = np.asarray(non_null, dtype=np.int64)
+        except OverflowError:
+            # Ints beyond int64: the scalar encoder handles any width.
+            return [
+                b"" if v is None else tag + encode_zigzag(int(v))
+                for v in values
+            ]
+        zigzag = ((arr << np.int64(1)) ^ (arr >> np.int64(63))).view(np.uint64)
+        blob = encode_varint_array(zigzag)
+        bounds = np.zeros(arr.size + 1, dtype=np.int64)
+        np.cumsum(varint_lengths(zigzag), out=bounds[1:])
+        offsets = iter(bounds.tolist())
+        end = next(offsets)
+        pieces = []
+        for v in values:
+            if v is None:
+                pieces.append(b"")
+            else:
+                start, end = end, next(offsets)
+                pieces.append(tag + blob[start:end])
+        return pieces
+    if dtype is not DataType.STRING:
+        tag = bytes(encode_varint((field_number << 3) | _WIRE_FIXED64))
+        packed = np.asarray(
+            [float(v) for v in values if v is not None], dtype="<f8"
+        ).tobytes()
+        pieces = []
+        end = 0
+        for v in values:
+            if v is None:
+                pieces.append(b"")
+            else:
+                start, end = end, end + 8
+                pieces.append(tag + packed[start:end])
+        return pieces
+    tag = bytes(encode_varint((field_number << 3) | _WIRE_BYTES))
+    pieces = []
+    for v in values:
+        if v is None:
+            pieces.append(b"")
+        else:
+            raw = v.encode("utf-8")
+            pieces.append(tag + encode_varint(len(raw)) + raw)
+    return pieces
+
+
 def write_recordio(table: Table, path: str) -> int:
-    """Write ``table`` to ``path``; returns the file size in bytes."""
-    dtypes = [table.column(name).dtype for name in table.field_names]
+    """Write ``table`` to ``path``; returns the file size in bytes.
+
+    Rows are byte-identical to encoding each with
+    :func:`_encode_record`, but the numeric payloads of every column
+    are produced in one bulk-kernel pass (see :func:`_column_pieces`),
+    as are the record length prefixes.
+    """
+    columns = [
+        _column_pieces(
+            table.column(name).values, table.column(name).dtype, number
+        )
+        for number, name in enumerate(table.field_names, start=1)
+    ]
+    if columns:
+        bodies = [b"".join(row_pieces) for row_pieces in zip(*columns)]
+    else:
+        bodies = [b""] * table.n_rows
+    lengths = np.fromiter(
+        map(len, bodies), dtype=np.int64, count=len(bodies)
+    )
+    prefix_blob = encode_varint_array(lengths)
+    bounds = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(varint_lengths(lengths), out=bounds[1:])
+    starts = bounds.tolist()
     with open(path, "wb") as handle:
-        for row in table.iter_rows():
-            handle.write(_encode_record(row, dtypes))
+        handle.write(
+            b"".join(
+                prefix_blob[starts[i] : starts[i + 1]] + body
+                for i, body in enumerate(bodies)
+            )
+        )
     return os.path.getsize(path)
 
 

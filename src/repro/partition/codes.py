@@ -17,6 +17,13 @@ integers beyond the float64-exact range) falls back to
 :func:`factorize_scalar` — the original implementation, kept
 behaviour-frozen as the equivalence oracle. Equivalence between the
 paths is enforced by property tests, not assumed.
+
+One deliberate exception to exact Python semantics: a column mixing
+floats with integers beyond the float64-exact range is deduplicated by
+*float64 image* (see :func:`_factorize_quotient_by_float64`), because
+that is the space its dictionary stores — exact dedup used to emit
+dictionaries with equal adjacent floats, which the strictly-sorted
+invariant rejects at import time.
 """
 
 from __future__ import annotations
@@ -159,10 +166,60 @@ def _factorize_numeric(
     return _assemble_codes(n, null_mask, inverse, ordered)
 
 
+def _factorize_quotient_by_float64(
+    values: Sequence[Any],
+) -> tuple[np.ndarray, list[Any]] | None:
+    """Factorize a mixed int/float column by its *float64 image*.
+
+    A column that mixes floats with integers beyond the float64-exact
+    range is stored as a float64 dictionary, so values whose float64
+    images collide (e.g. ``2**61`` and ``float(2**61)``, or ``2**61``
+    and ``2**61 + 1``) are one storable value. Deduplicating them
+    exactly used to produce a dictionary array with equal adjacent
+    floats, which :class:`NumericDictionary` rejects — distinctness
+    must be decided in the space the dictionary stores. The first
+    occurrence in the column supplies the representative (mirroring
+    how ``set`` keeps the first of ``2`` vs ``2.0``). Returns None for
+    inputs with NaN or non-float-representable ints, which keep the
+    exact semantics.
+    """
+    rep: dict[float, Any] = {}
+    has_null = False
+    try:
+        for v in values:
+            if v is None:
+                has_null = True
+                continue
+            image = float(v)
+            if image != image:  # NaN: exact path handles it
+                return None
+            if image not in rep:
+                rep[image] = v
+    except OverflowError:  # int beyond float64 range
+        return None
+    images = sorted(rep)
+    offset = 1 if has_null else 0
+    rank = {image: code + offset for code, image in enumerate(images)}
+    codes = np.fromiter(
+        (0 if v is None else rank[float(v)] for v in values),
+        dtype=np.int64,
+        count=len(values),
+    )
+    ordered = ([None] if has_null else []) + [rep[image] for image in images]
+    return codes, ordered
+
+
 def _factorize_scalar_list(values: Sequence[Any]) -> tuple[np.ndarray, list[Any]]:
     distinct = set(values)
     has_null = None in distinct
     distinct.discard(None)
+    kinds = {type(v) for v in distinct}
+    if kinds == {int, float} and any(
+        type(v) is int and abs(v) >= _FLOAT64_EXACT_INT_BOUND for v in distinct
+    ):
+        result = _factorize_quotient_by_float64(values)
+        if result is not None:
+            return result
     ordered: list[Any] = ([None] if has_null else []) + sorted(distinct)
     rank = {value: code for code, value in enumerate(ordered)}
     # map(rank.__getitem__, ...) probes the dict without a Python frame

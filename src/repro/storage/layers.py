@@ -13,7 +13,11 @@ least-recently-used blobs are *demoted* (compressed into the cold
 layer); when the cold layer overflows, blobs are dropped entirely and
 the next access goes to the ``loader`` callback (simulating a disk
 read). All movements are counted so experiments can report hot / cold /
-disk hit splits — the quantity behind Figure 5.
+disk hit splits — the quantity behind Figure 5 — and mirrored into
+:data:`repro.monitoring.counters` under ``storage.layers.*``. A blob
+that alone overflows a layer is never admitted (it would stay resident
+forever, since eviction only considers *other* entries) — it goes
+straight to that layer's eviction path and the rejection is counted.
 """
 
 from __future__ import annotations
@@ -22,21 +26,30 @@ from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.compress.registry import get_codec
+from repro.compress.registry import CompressionStats, get_codec
 from repro.errors import StorageError
+from repro.monitoring import counters
 
 
 @dataclass
 class LayerStats:
-    """Where reads were served from, and byte traffic between layers."""
+    """Where reads were served from, and byte traffic between layers.
+
+    ``bytes_compressed`` / ``bytes_compressed_out`` are the demotion
+    path's input and output totals, so :attr:`compression_ratio`
+    reports what the cold layer actually achieves on this workload.
+    """
 
     hot_hits: int = 0
     cold_hits: int = 0
     loads: int = 0
     demotions: int = 0
     drops: int = 0
+    oversized_rejections: int = 0
     bytes_decompressed: int = 0
     bytes_loaded: int = 0
+    bytes_compressed: int = 0
+    bytes_compressed_out: int = 0
 
     @property
     def accesses(self) -> int:
@@ -49,17 +62,30 @@ class LayerStats:
             return 0.0
         return (self.hot_hits + self.cold_hits) / self.accesses
 
+    @property
+    def compression_ratio(self) -> float:
+        """Raw bytes per compressed byte across all demotions."""
+        if not self.bytes_compressed_out:
+            return 0.0
+        return self.bytes_compressed / self.bytes_compressed_out
+
 
 class _LruLayer:
     """A weighted LRU dict that hands overflow victims to a callback."""
 
-    def __init__(self, capacity: float, on_evict: Callable[[str, bytes], None]):
+    def __init__(
+        self,
+        capacity: float,
+        on_evict: Callable[[str, bytes], None],
+        on_reject: Callable[[str], None] | None = None,
+    ):
         if capacity <= 0:
             raise StorageError(f"layer capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.used = 0.0
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._on_evict = on_evict
+        self._on_reject = on_reject
 
     def get(self, key: str) -> bytes | None:
         data = self._entries.get(key)
@@ -70,9 +96,18 @@ class _LruLayer:
     def put(self, key: str, data: bytes) -> None:
         if key in self._entries:
             self.used -= len(self._entries.pop(key))
+        if len(data) > self.capacity:
+            # An entry that alone overflows the budget must never be
+            # admitted: eviction would keep it as the last resident
+            # entry and the layer would stay permanently over budget.
+            # It takes the eviction path immediately instead.
+            if self._on_reject is not None:
+                self._on_reject(key)
+            self._on_evict(key, data)
+            return
         self._entries[key] = data
         self.used += len(data)
-        while self.used > self.capacity and len(self._entries) > 1:
+        while self.used > self.capacity and self._entries:
             victim_key, victim = self._entries.popitem(last=False)
             self.used -= len(victim)
             self._on_evict(victim_key, victim)
@@ -100,17 +135,30 @@ class HybridLayerStore:
         loader: Callable[[str], bytes] | None = None,
     ) -> None:
         self._codec = get_codec(codec)
-        self._hot = _LruLayer(hot_capacity_bytes, self._demote)
-        self._cold = _LruLayer(cold_capacity_bytes, self._drop)
+        self._hot = _LruLayer(hot_capacity_bytes, self._demote, self._reject)
+        self._cold = _LruLayer(cold_capacity_bytes, self._drop, self._reject)
         self._loader = loader
         self.stats = LayerStats()
 
+    def _reject(self, key: str) -> None:
+        self.stats.oversized_rejections += 1
+        counters.increment("storage.layers.oversized_rejections")
+
     def _demote(self, key: str, data: bytes) -> None:
+        compressed = self._codec.compress(data)
         self.stats.demotions += 1
-        self._cold.put(key, self._codec.compress(data))
+        self.stats.bytes_compressed += len(data)
+        self.stats.bytes_compressed_out += len(compressed)
+        counters.increment("storage.layers.demotions")
+        counters.increment("storage.layers.bytes_compressed", len(data))
+        counters.increment(
+            "storage.layers.bytes_compressed_out", len(compressed)
+        )
+        self._cold.put(key, compressed)
 
     def _drop(self, key: str, data: bytes) -> None:
         self.stats.drops += 1
+        counters.increment("storage.layers.drops")
 
     def put(self, key: str, data: bytes) -> None:
         """Insert a blob into the hot layer (demoting LRU overflow)."""
@@ -122,11 +170,16 @@ class HybridLayerStore:
         data = self._hot.get(key)
         if data is not None:
             self.stats.hot_hits += 1
+            counters.increment("storage.layers.hot_hits")
             return data
         compressed = self._cold.get(key)
         if compressed is not None:
             self.stats.cold_hits += 1
             self.stats.bytes_decompressed += len(compressed)
+            counters.increment("storage.layers.cold_hits")
+            counters.increment(
+                "storage.layers.bytes_decompressed", len(compressed)
+            )
             data = self._codec.decompress(compressed)
             self._cold.remove(key)
             self._hot.put(key, data)
@@ -136,8 +189,14 @@ class HybridLayerStore:
         data = self._loader(key)
         self.stats.loads += 1
         self.stats.bytes_loaded += len(data)
+        counters.increment("storage.layers.loads")
+        counters.increment("storage.layers.bytes_loaded", len(data))
         self._hot.put(key, data)
         return data
+
+    def codec_stats(self) -> CompressionStats:
+        """Live per-codec stats for this store's codec (process-wide)."""
+        return self._codec.stats
 
     def contains_hot(self, key: str) -> bool:
         return key in self._hot

@@ -46,7 +46,12 @@ import zlib
 
 import numpy as np
 
-from repro.compress.varint import decode_varint, encode_varint
+from repro.compress.varint import (
+    decode_varint,
+    decode_varint_stream,
+    encode_varint,
+    encode_varint_array,
+)
 from repro.core.datastore import DataStore, DataStoreOptions, FieldStore
 from repro.errors import StorageError
 from repro.storage.bitset import BitSet
@@ -131,25 +136,37 @@ def decode_elements(data: bytes, pos: int) -> tuple[Elements, int]:
 
 
 def encode_chunk_dict(chunk_dict: np.ndarray) -> bytes:
-    """Serialize a chunk-dictionary as delta varints."""
-    out = bytearray(encode_varint(int(chunk_dict.size)))
-    previous = 0
-    for gid in chunk_dict:
-        out += encode_varint(int(gid) - previous)
-        previous = int(gid)
-    return bytes(out)
+    """Serialize a chunk-dictionary as delta varints.
+
+    One bulk pass: ``np.diff`` for the deltas, then the vectorized
+    varint encoder — byte-identical to encoding each delta with
+    :func:`encode_varint` (which also means unsorted input still raises
+    :class:`~repro.errors.CompressionError` on the negative delta).
+    """
+    head = encode_varint(int(chunk_dict.size))
+    if not chunk_dict.size:
+        return head
+    deltas = np.diff(chunk_dict.astype(np.int64, copy=False), prepend=0)
+    return head + encode_varint_array(deltas)
 
 
 def decode_chunk_dict(data: bytes, pos: int) -> tuple[np.ndarray, int]:
     """Parse a chunk-dictionary; returns it and the next read position."""
     count, pos = decode_varint(data, pos)
-    gids = np.empty(count, dtype=np.uint32)
-    value = 0
-    for index in range(count):
-        delta, pos = decode_varint(data, pos)
-        value += delta
-        gids[index] = value
-    return gids, pos
+    if not count:
+        return np.empty(0, dtype=np.uint32), pos
+    # Bound the kernel's terminator scan to this dictionary's bytes
+    # (a varint is at most 10 bytes) — the store body continues after.
+    window = memoryview(data)[pos : pos + 10 * count]
+    deltas, consumed = decode_varint_stream(window, count, 0)
+    pos += consumed
+    if int(deltas.max()) > 0xFFFFFFFF:
+        raise StorageError("chunk-dict delta beyond uint32 range")
+    # deltas <= 2**32 and count <= len(data), so the uint64 sum is exact.
+    gids = np.cumsum(deltas)
+    if int(gids[-1]) > 0xFFFFFFFF:
+        raise StorageError("chunk-dict global-id beyond uint32 range")
+    return gids.astype(np.uint32), pos
 
 
 # -- global dictionaries ------------------------------------------------------------

@@ -424,7 +424,7 @@ class TrieDictionary(Dictionary):
         root-to-leaf walks into plain list/array indexing.
         """
         if self._all_values is None:
-            out: list[str] = []
+            terminal_paths: list[bytes] = []
             path = bytearray()
             # Explicit stack instead of recursion: compressed tries can
             # be deeper than the interpreter's recursion limit allows.
@@ -437,21 +437,29 @@ class TrieDictionary(Dictionary):
                 terminal, skip, mask, __, body = self._node(pos)
                 path.extend(skip)
                 if terminal:
-                    raw = bytes(
-                        (path[i] << 4) | path[i + 1]
-                        for i in range(0, len(path), 2)
-                    )
-                    out.append(raw.decode("utf-8"))
+                    terminal_paths.append(bytes(path))
                 prefix_len = len(path)
                 for nibble, node_pos, __ in reversed(
                     list(self._children(mask, body))
                 ):
                     stack.append((node_pos, prefix_len, nibble))
-            if len(out) != self._count:
+            if len(terminal_paths) != self._count:
                 raise DictionaryError(
-                    f"corrupt trie: decoded {len(out)} values,"
+                    f"corrupt trie: decoded {len(terminal_paths)} values,"
                     f" expected {self._count}"
                 )
+            if any(len(path_bytes) & 1 for path_bytes in terminal_paths):
+                raise DictionaryError("corrupt trie: odd-length nibble path")
+            # Repack every terminal's nibbles into UTF-8 bytes in one
+            # vectorized pass instead of a per-nibble loop per string.
+            nibbles = np.frombuffer(b"".join(terminal_paths), dtype=np.uint8)
+            packed = ((nibbles[0::2] << 4) | nibbles[1::2]).tobytes()
+            out: list[str] = []
+            offset = 0
+            for path_bytes in terminal_paths:
+                size = len(path_bytes) // 2
+                out.append(packed[offset : offset + size].decode("utf-8"))
+                offset += size
             self._all_values = out
         return self._all_values
 

@@ -131,6 +131,36 @@ class TestBenchImport:
         }
 
 
+class TestBenchCompress:
+    def test_bench_compress_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "compress.json")
+        code = main(
+            [
+                "bench", "compress",
+                "--rows", "4000",
+                "--repeats", "1",
+                "--store-rows", "2000",
+                "--huffman-bytes", "8192",
+                "--output", out,
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "compress bench" in text
+        assert "varint-stream" in text
+        assert "BUG" not in text  # byte-identity / round-trip columns
+
+        import json
+
+        report = json.loads(open(out, encoding="utf-8").read())
+        assert report["rows"] == 4000
+        for name in ("varint-stream", "rle", "zippy", "lzo", "huffman"):
+            entry = report["codecs"][name]
+            assert entry["byte_identical"] is True
+            assert entry["round_trip"] is True
+        assert report["codec_stats"]["zippy"]["encode_calls"] >= 1
+
+
 class TestChaos:
     def test_chaos_sweep_writes_report(self, tmp_path, capsys):
         out = str(tmp_path / "chaos.json")

@@ -77,3 +77,83 @@ def test_put_replaces_cold_copy():
     store.put("b", b"B" * 80)  # a -> cold
     store.put("a", b"fresh")  # back to hot; cold copy must not resurface
     assert store.get("a") == b"fresh"
+
+
+def test_oversized_blob_never_admitted_hot():
+    # A blob that alone overflows the hot budget must not stay
+    # resident (it would be unevictable and permanently over budget);
+    # it demotes straight to cold.
+    store = HybridLayerStore(100, 10_000)
+    store.put("big", b"G" * 150)
+    assert not store.contains_hot("big")
+    assert store.contains_cold("big")
+    assert store.hot_used_bytes == 0
+    assert store.stats.oversized_rejections == 1
+    assert store.stats.demotions == 1
+    # Still readable: the cold copy decompresses on access...
+    assert store.get("big") == b"G" * 150
+    # ...and the promotion is itself rejected by the hot layer again.
+    assert not store.contains_hot("big")
+    assert store.stats.oversized_rejections == 2
+
+
+def test_oversized_blob_never_admitted_cold():
+    import os
+
+    # Incompressible and bigger than both layers: rejected by hot,
+    # then its compressed form is rejected by cold and dropped.
+    store = HybridLayerStore(50, 60, loader=lambda k: b"")
+    blob = os.urandom(200)
+    store.put("big", blob)
+    assert not store.contains_hot("big")
+    assert not store.contains_cold("big")
+    assert store.stats.oversized_rejections == 2
+    assert store.stats.drops == 1
+    assert store.hot_used_bytes == 0
+    assert store.cold_used_bytes == 0
+
+
+def test_compression_ratio_and_bytes_compressed():
+    store = HybridLayerStore(100, 10_000)
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)  # demotes "a": 80 raw bytes compressed
+    assert store.stats.bytes_compressed == 80
+    assert 0 < store.stats.bytes_compressed_out < 80
+    assert store.stats.compression_ratio == pytest.approx(
+        80 / store.stats.bytes_compressed_out
+    )
+    # No demotions yet -> ratio is defined as 0.0, not a ZeroDivision.
+    assert HybridLayerStore(10, 10).stats.compression_ratio == 0.0
+
+
+def test_layer_counters_mirror_monitoring():
+    from repro.monitoring import counters
+
+    counters.reset()
+    store = HybridLayerStore(100, 10_000, loader=lambda k: b"L" * 30)
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)  # demote "a"
+    store.get("a")  # cold hit
+    store.get("disk")  # loader
+    store.put("big", b"X" * 500)  # oversized: rejected hot, demoted
+    snapshot = counters.snapshot()
+    assert snapshot["storage.layers.demotions"] == store.stats.demotions
+    assert snapshot["storage.layers.cold_hits"] == 1
+    assert snapshot["storage.layers.loads"] == 1
+    assert snapshot["storage.layers.bytes_loaded"] == 30
+    assert snapshot["storage.layers.oversized_rejections"] == 1
+    assert (
+        snapshot["storage.layers.bytes_compressed"]
+        == store.stats.bytes_compressed
+    )
+
+
+def test_codec_stats_accessor():
+    from repro.compress import compression_stats
+
+    store = HybridLayerStore(100, 10_000, codec="zippy")
+    assert store.codec_stats() is compression_stats("zippy")
+    before = store.codec_stats().encode_calls
+    store.put("a", b"A" * 80)
+    store.put("b", b"B" * 80)  # demotion compresses through the codec
+    assert store.codec_stats().encode_calls == before + 1

@@ -665,6 +665,186 @@ class TestScalarImportLoop:
         assert report.ok, [f.where for f in report.findings]
 
 
+class TestPerByteCodecLoop:
+    def test_cursor_while_loop_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def decode(data):
+                out = []
+                pos = 0
+                while pos < len(data):
+                    out.append(data[pos])
+                    pos += 1
+                return out
+            """,
+            rel_path="compress/varint.py",
+            select=["REP010"],
+        )
+        assert report.codes() == {"REP010"}
+        assert "while loop advances a cursor" in report.findings[0].message
+
+    def test_for_range_subscript_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def encode(values, out):
+                for i in range(len(values)):
+                    out[i] = values[i] * 2
+            """,
+            rel_path="compress/rle.py",
+            select=["REP010"],
+        )
+        assert report.codes() == {"REP010"}
+        assert "for-range loop subscripts" in report.findings[0].message
+
+    def test_one_finding_per_loop_header(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def decode(data):
+                pos = 0
+                while pos < len(data):
+                    a = data[pos]
+                    b = data[pos + 1]
+                    pos += 2
+            """,
+            rel_path="compress/zippy.py",
+            select=["REP010"],
+        )
+        assert len(report.findings) == 1
+
+    def test_slice_only_loop_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def compress(data):
+                out = []
+                pos = 0
+                while pos < len(data):
+                    out.append(data[pos : pos + 8])
+                    pos += 8
+                return out
+            """,
+            rel_path="compress/zippy.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_while_without_cursor_allowed(self, tmp_path):
+        # No AugAssign cursor: a heap-merge style loop is not a byte walk.
+        report = lint_snippet(
+            tmp_path,
+            """
+            def merge(heap, lengths):
+                while len(heap) > 1:
+                    item = heap.pop()
+                    lengths.append(item)
+            """,
+            rel_path="compress/huffman.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_fancy_index_allowed(self, tmp_path):
+        # Numpy-style gathers (call or attribute indexes) are the bulk
+        # kernels' idiom, not a per-byte walk. (An index built from
+        # bare name arithmetic like ``arr[starts + k]`` *is* flagged —
+        # statically indistinguishable from a scalar walk — which is
+        # why compress/bulk.py carries a justified suppression.)
+        report = lint_snippet(
+            tmp_path,
+            """
+            def kernel(arr, starts, mask, k):
+                total = 0
+                while total < 5:
+                    total += int(arr[starts.clip(0)].sum())
+                    lane = arr[mask.nonzero()]
+                return total
+            """,
+            rel_path="compress/bulk.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_for_over_range_with_foreign_index_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def chunked(arr, chunk, mask):
+                for lo in range(0, len(arr), chunk):
+                    block = arr[lo : lo + chunk]
+                    lane = block[mask.nonzero()]
+            """,
+            rel_path="compress/huffman.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_reference_module_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def decode(data):
+                pos = 0
+                while pos < len(data):
+                    byte = data[pos]
+                    pos += 1
+            """,
+            rel_path="compress/reference.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_outside_compress_not_in_scope(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def walk(data):
+                pos = 0
+                while pos < len(data):
+                    byte = data[pos]
+                    pos += 1
+            """,
+            rel_path="storage/serde.py",
+            select=["REP010"],
+        )
+        assert report.ok
+
+    def test_nested_loop_judged_at_its_own_header(self, tmp_path):
+        # The outer while only does slice work; the inner while is the
+        # byte walk and the finding lands on *its* header line.
+        report = lint_snippet(
+            tmp_path,
+            """
+            def compress(data):
+                pos = 0
+                while pos < len(data):
+                    chunk = data[pos : pos + 16]
+                    i = 0
+                    while i < len(chunk):
+                        byte = chunk[i]
+                        i += 1
+                    pos += 16
+            """,
+            rel_path="compress/lzo_like.py",
+            select=["REP010"],
+        )
+        assert len(report.findings) == 1
+        assert ":7:" in report.findings[0].where
+
+    def test_repo_compress_modules_clean(self):
+        root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+            "repro",
+        )
+        report = run_lint([root], select=["REP010"])
+        assert report.ok, [f.where for f in report.findings]
+        # The deliberate scalar loops carry justified suppressions.
+        assert report.suppressed >= 5
+
+
 class TestSuppressions:
     def test_line_suppression_silences(self, tmp_path):
         report = lint_snippet(

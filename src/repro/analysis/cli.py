@@ -47,12 +47,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_catalog(LINT_CATALOG))
         return 0
+    fmt = "json" if getattr(args, "json", False) else args.format
     report = run_lint(
         args.paths,
         select=args.select or None,
         severity_overrides=_parse_severity_overrides(args.severity),
     )
-    return _emit(report, args.format)
+    return _emit(report, fmt)
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
@@ -74,6 +75,12 @@ def configure_lint_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (machine-readable findings "
+        "with stable fingerprints for CI diffing)",
     )
     parser.add_argument(
         "--select",

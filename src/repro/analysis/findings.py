@@ -11,10 +11,26 @@ for fsck).
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
+
+
+def finding_fingerprint(
+    code: str, rel_path: str, symbol: str, occurrence: int
+) -> str:
+    """A stable, line-independent identity for one finding.
+
+    Hashes (rule code, package-relative path, qualified symbol,
+    occurrence index within that triple). Moving a function inside a
+    file — or the code above it growing — does not change the
+    fingerprint, so CI can diff JSON runs across commits; renaming the
+    symbol or adding a second same-rule finding inside it does.
+    """
+    payload = f"{code}\x00{rel_path}\x00{symbol}\x00{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
 
 
 class Severity(enum.IntEnum):
@@ -46,18 +62,25 @@ class Finding:
     severity: Severity
     message: str
     where: str = ""
+    symbol: str = ""
+    fingerprint: str = ""
 
     def render(self) -> str:
         location = f"{self.where}: " if self.where else ""
         return f"{location}{self.code} [{self.severity}] {self.message}"
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "code": self.code,
             "severity": str(self.severity),
             "message": self.message,
             "where": self.where,
         }
+        if self.symbol:
+            payload["symbol"] = self.symbol
+        if self.fingerprint:
+            payload["fingerprint"] = self.fingerprint
+        return payload
 
 
 @dataclass
@@ -75,8 +98,10 @@ class FindingsReport:
         severity: Severity,
         message: str,
         where: str = "",
+        symbol: str = "",
+        fingerprint: str = "",
     ) -> Finding:
-        finding = Finding(code, severity, message, where)
+        finding = Finding(code, severity, message, where, symbol, fingerprint)
         self.findings.append(finding)
         return finding
 

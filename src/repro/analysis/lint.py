@@ -14,18 +14,30 @@ Suppressions are source comments::
 A line-level ``disable`` silences the listed codes on that line only; a
 ``disable-file`` silences them for the whole module. The ``-- reason``
 trailer is encouraged (and what code review should look for) but not
-enforced by the engine.
+enforced by the engine. Suppressions that no longer silence anything
+are themselves flagged (REP016) on full runs, so dead opt-outs cannot
+accumulate.
+
+Comments are found with :mod:`tokenize`, not a per-line regex, so a
+suppression *example inside a string or docstring* (like the ones
+above) is never treated as a real suppression.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
-from repro.analysis.findings import FindingsReport, Severity
+from repro.analysis.findings import (
+    FindingsReport,
+    Severity,
+    finding_fingerprint,
+)
 from repro.errors import AnalysisError
 from repro.monitoring import counters
 
@@ -33,6 +45,15 @@ _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Z0-9,\s]+?)(?:\s*--.*)?$"
 )
 
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One parsed ``# reprolint: disable[...]`` comment."""
+
+    line: int
+    kind: str  # 'line' | 'file'
+    codes: frozenset[str]
+    has_reason: bool
 
 
 @dataclass
@@ -45,6 +66,9 @@ class ModuleInfo:
     tree: ast.Module
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    suppression_comments: list[SuppressionComment] = field(
+        default_factory=list
+    )
 
     @property
     def in_package_root(self) -> bool:
@@ -53,6 +77,42 @@ class ModuleInfo:
     def top_dir(self) -> str:
         """First path segment below the lint root ('' for root files)."""
         return self.rel_path.split("/", 1)[0] if "/" in self.rel_path else ""
+
+    _symbol_spans: list[tuple[int, int, str]] | None = None
+
+    def qualified_symbol(self, line: int) -> str:
+        """The innermost def/class enclosing ``line`` ('<module>' if none)."""
+        if self._symbol_spans is None:
+            spans: list[tuple[int, int, str]] = []
+
+            def visit(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        qual = prefix + child.name
+                        start = min(
+                            [child.lineno]
+                            + [d.lineno for d in child.decorator_list]
+                        )
+                        spans.append(
+                            (start, child.end_lineno or child.lineno, qual)
+                        )
+                        visit(child, qual + ".")
+                    else:
+                        visit(child, prefix)
+
+            visit(self.tree, "")
+            self._symbol_spans = spans
+        best = "<module>"
+        best_size: int | None = None
+        for start, end, qual in self._symbol_spans:
+            if start <= line <= end:
+                size = end - start
+                if best_size is None or size < best_size:
+                    best, best_size = qual, size
+        return best
 
 
 @dataclass(frozen=True)
@@ -98,6 +158,26 @@ class LintRule:
         return True
 
     def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        raise NotImplementedError
+
+
+class ProjectRule(LintRule):
+    """A rule that needs the whole-project dataflow model.
+
+    Project rules run after every module is parsed, against the
+    :class:`repro.analysis.dataflow.Project` built from all of them
+    (call graph, taint summaries). They yield ``(rel_path, finding)``
+    pairs instead of per-module findings; path scoping via
+    ``applies_to`` is still honoured on the module each finding lands
+    in, and suppressions work exactly as for per-module rules.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        return ()
+
+    def check_project(
+        self, project, modules: dict[str, ModuleInfo]
+    ) -> Iterable[tuple[str, RawFinding]]:
         raise NotImplementedError
 
 
@@ -160,19 +240,47 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[tuple[str, str]]:
 
 def _parse_suppressions(
     source: str,
-) -> tuple[dict[int, set[str]], set[str]]:
+) -> tuple[dict[int, set[str]], set[str], list[SuppressionComment]]:
+    """Extract suppression comments via :mod:`tokenize`.
+
+    Only real COMMENT tokens count — a suppression spelled inside a
+    string or docstring is documentation, not a directive.
+    """
     per_line: dict[int, set[str]] = {}
     per_file: set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
-        if match.group(1) == "disable-file":
-            per_file |= codes
-        else:
-            per_line.setdefault(lineno, set()).update(codes)
-    return per_line, per_file
+    comments: list[SuppressionComment] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                c.strip() for c in match.group(2).split(",") if c.strip()
+            }
+            if not codes:
+                continue
+            lineno = token.start[0]
+            has_reason = "--" in token.string
+            if match.group(1) == "disable-file":
+                per_file |= codes
+                comments.append(
+                    SuppressionComment(
+                        lineno, "file", frozenset(codes), has_reason
+                    )
+                )
+            else:
+                per_line.setdefault(lineno, set()).update(codes)
+                comments.append(
+                    SuppressionComment(
+                        lineno, "line", frozenset(codes), has_reason
+                    )
+                )
+    except tokenize.TokenError:  # pragma: no cover — ast.parse ran first
+        pass
+    return per_line, per_file, comments
 
 
 def load_module(path: str, rel_path: str) -> ModuleInfo:
@@ -183,11 +291,25 @@ def load_module(path: str, rel_path: str) -> ModuleInfo:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
         raise AnalysisError(f"cannot parse {path}: {error}") from error
-    per_line, per_file = _parse_suppressions(source)
-    return ModuleInfo(path, rel_path, source, tree, per_line, per_file)
+    per_line, per_file, comments = _parse_suppressions(source)
+    return ModuleInfo(
+        path, rel_path, source, tree, per_line, per_file, comments
+    )
 
 
 # -- the run ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """A finding awaiting symbol resolution and fingerprinting."""
+
+    code: str
+    severity: Severity
+    message: str
+    rel_path: str
+    line: int
+    col: int
 
 
 def run_lint(
@@ -200,6 +322,12 @@ def run_lint(
     ``select`` restricts the run to the given rule codes;
     ``severity_overrides`` maps rule codes to severities replacing each
     rule's default. Suppressed findings are counted but not reported.
+
+    Per-module rules run first, file by file; :class:`ProjectRule`
+    subclasses then run once against the whole-project dataflow model.
+    On full runs (no ``select``), suppression comments that silenced
+    nothing are reported as REP016 — a selective run leaves most rules
+    un-run, so unused-ness cannot be judged there.
     """
     if isinstance(paths, str):
         paths = [paths]
@@ -212,31 +340,104 @@ def run_lint(
         rules = [cls() for cls in all_rules()]
 
     report = FindingsReport(tool="reprolint")
+    modules: dict[str, ModuleInfo] = {}
     for path, rel_path in iter_python_files(paths):
-        module = load_module(path, rel_path)
+        modules[rel_path] = load_module(path, rel_path)
         report.items_checked += 1
         counters.increment("analysis.lint.files_scanned")
-        for rule in rules:
+
+    # (rel_path, line-or-None-for-file-level, code) of suppressions
+    # that actually silenced a finding this run.
+    used_suppressions: set[tuple[str, int | None, str]] = set()
+    pending: list[_Pending] = []
+
+    def record(rule: LintRule, module: ModuleInfo, raw: RawFinding) -> None:
+        if rule.code in module.line_suppressions.get(raw.line, set()):
+            used_suppressions.add((module.rel_path, raw.line, rule.code))
+            report.suppressed += 1
+            counters.increment("analysis.lint.suppressed")
+            return
+        if rule.code in module.file_suppressions:
+            used_suppressions.add((module.rel_path, None, rule.code))
+            report.suppressed += 1
+            counters.increment("analysis.lint.suppressed")
+            return
+        pending.append(
+            _Pending(
+                rule.code,
+                overrides.get(rule.code, rule.default_severity),
+                raw.message,
+                module.rel_path,
+                raw.line,
+                raw.col,
+            )
+        )
+        counters.increment("analysis.lint.findings")
+
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    for module in modules.values():
+        for rule in module_rules:
             if not rule.applies_to(module):
                 continue
-            severity = overrides.get(rule.code, rule.default_severity)
             for raw in rule.check(module):
-                suppressed_here = module.line_suppressions.get(
-                    raw.line, set()
-                )
-                if (
-                    rule.code in suppressed_here
-                    or rule.code in module.file_suppressions
-                ):
-                    report.suppressed += 1
-                    counters.increment("analysis.lint.suppressed")
+                record(rule, module, raw)
+
+    if project_rules:
+        from repro.analysis.dataflow import Project
+
+        project = Project(
+            (m.rel_path, m.tree) for m in modules.values()
+        )
+        for rule in project_rules:
+            for rel_path, raw in rule.check_project(project, modules):
+                module = modules.get(rel_path)
+                if module is None or not rule.applies_to(module):
                     continue
-                report.add(
-                    rule.code,
-                    severity,
-                    raw.message,
-                    where=f"{rel_path}:{raw.line}:{raw.col}",
-                )
-                counters.increment("analysis.lint.findings")
+                record(rule, module, raw)
+
+    if select is None:
+        hygiene = get_rule("REP016")()
+        for module in modules.values():
+            for comment in module.suppression_comments:
+                line_key = comment.line if comment.kind == "line" else None
+                for code in sorted(comment.codes):
+                    if (module.rel_path, line_key, code) in used_suppressions:
+                        continue
+                    scope = (
+                        "file-level suppression"
+                        if comment.kind == "file"
+                        else "suppression"
+                    )
+                    record(
+                        hygiene,
+                        module,
+                        RawFinding(
+                            comment.line,
+                            0,
+                            f"{scope} for {code} matches no finding; "
+                            "delete the stale comment",
+                        ),
+                    )
+
+    # Resolve symbols and occurrence-stable fingerprints in source
+    # order so fingerprints do not depend on rule execution order.
+    pending.sort(key=lambda p: (p.rel_path, p.line, p.col, p.code))
+    occurrence: dict[tuple[str, str, str], int] = {}
+    for item in pending:
+        symbol = modules[item.rel_path].qualified_symbol(item.line)
+        key = (item.code, item.rel_path, symbol)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        report.add(
+            item.code,
+            item.severity,
+            item.message,
+            where=f"{item.rel_path}:{item.line}:{item.col}",
+            symbol=symbol,
+            fingerprint=finding_fingerprint(
+                item.code, item.rel_path, symbol, index
+            ),
+        )
     report.findings.sort(key=lambda f: (f.where, f.code))
     return report

@@ -525,6 +525,31 @@ class DataStore:
         )
         return clone
 
+    def __getstate__(self) -> dict:
+        """Pickle the encoded data, not the per-process runtime.
+
+        The executor (thread pool), the cache lock and the chunk-result
+        cache cannot cross a process boundary — exactly the state
+        ``__deepcopy__`` rebuilds. Dropping them here is what makes a
+        store (and closures over ``self``, reprolint REP015) safe to
+        ship to a ProcessPool worker; ``__setstate__`` rebuilds fresh
+        runtime objects on the other side.
+        """
+        state = dict(self.__dict__)
+        for key in ("executor", "_cache_lock", "_chunk_cache"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.executor = make_executor(
+            self.options.executor, self.options.workers
+        )
+        self._cache_lock = threading.Lock()
+        self._chunk_cache = make_cache(
+            self.options.cache_policy, self.options.cache_capacity_bytes
+        )
+
     def field(self, name: str) -> FieldStore:
         try:
             return self.fields[name]

@@ -127,6 +127,22 @@ class ParallelExecutor(ExecutionStrategy):
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def __getstate__(self) -> dict:
+        """Pickle the configuration, never the live thread pool.
+
+        A pool cannot cross a process boundary; the unpickled executor
+        starts pool-less and lazily recreates one on first use — the
+        same lifecycle as a freshly constructed instance. This is the
+        ProcessPool precondition reprolint REP015 certifies statically.
+        """
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool = None
+
     def describe(self) -> str:
         return f"parallel({self.workers})"
 

@@ -335,12 +335,10 @@ class SimulatedCluster:
             else:
                 stats, partial = stats_partial
 
-            def attempt_cost(machine_index: int) -> float:
-                seconds, disk_bytes = self._machine_time(
-                    machine_index, shard, stats
-                )
-                metrics.bytes_loaded_from_disk += disk_bytes
-                return seconds
+            def attempt_cost(machine_index: int) -> tuple[float, int]:
+                # Pure cost callback (REP011): disk bytes travel back in
+                # DispatchOutcome.disk_bytes, not via captured metrics.
+                return self._machine_time(machine_index, shard, stats)
 
             outcome = dispatch_sub_query(
                 plan,
@@ -356,6 +354,7 @@ class SimulatedCluster:
             metrics.timeouts += outcome.timeouts
             metrics.quarantines += outcome.quarantines
             metrics.crashes += outcome.crashes
+            metrics.bytes_loaded_from_disk += outcome.disk_bytes
             metrics.backoff_seconds += outcome.backoff_seconds
             metrics.fault_events.extend(outcome.events)
             slowest_sub_query = max(slowest_sub_query, outcome.seconds)

@@ -317,6 +317,7 @@ class DispatchOutcome:
     quarantines: int = 0
     crashes: int = 0
     backoff_seconds: float = 0.0
+    disk_bytes: int = 0
     events: list[FaultEvent] = field(default_factory=list)
 
 
@@ -325,17 +326,21 @@ def dispatch_sub_query(
     query_index: int,
     shard_id: int,
     replicas: list[int],
-    attempt_cost: Callable[[int], float],
+    attempt_cost: Callable[[int], tuple[float, int]],
     response: object = None,
 ) -> DispatchOutcome:
     """Run one sub-query through hedging, deadlines, retries, failover.
 
     ``replicas`` lists the machines holding the shard, primary first.
-    ``attempt_cost(machine)`` returns the simulated seconds one
-    machine's attempt takes (the caller's cost model, including disk
-    loads); it is called once per attempted machine per wave, in
-    placement order, on the calling thread — which is what keeps the
-    simulation deterministic under any executor.
+    ``attempt_cost(machine)`` returns the simulated ``(seconds,
+    disk_bytes)`` one machine's attempt costs (the caller's cost model);
+    it is called once per attempted machine per wave, in placement
+    order, on the calling thread — which is what keeps the simulation
+    deterministic under any executor. The callback must be *pure*: it
+    reports costs through its return value, never by mutating captured
+    state (reprolint REP011) — the dispatcher accumulates the bytes of
+    every attempt into ``DispatchOutcome.disk_bytes`` for the caller to
+    fold into its metrics.
 
     Wave semantics: wave 0 is the hedged dispatch to every live
     replica at simulated time 0. If no attempt of a wave succeeds, the
@@ -368,7 +373,8 @@ def dispatch_sub_query(
         successes: list[tuple[float, int]] = []
         failures: list[float] = []
         for machine in candidates:
-            seconds = attempt_cost(machine)
+            seconds, attempt_disk_bytes = attempt_cost(machine)
+            outcome.disk_bytes += attempt_disk_bytes
             faults = plan.attempt_faults(query_index, shard_id, machine, wave)
             if faults.slow:
                 seconds *= cfg.slow_factor

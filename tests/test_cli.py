@@ -193,3 +193,44 @@ class TestChaos:
         code = main(["chaos", "--rows", "2000", "--crash-rate", "1.5"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestLintJson:
+    def test_lint_json_smoke(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "mod.py"
+        bad.write_text('def f():\n    raise ValueError("x")\n')
+        code = main(["lint", str(bad), "--json", "--select", "REP001"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+        finding = payload["findings"][0]
+        assert finding["code"] == "REP001"
+        assert finding["symbol"] == "f"
+        assert len(finding["fingerprint"]) == 12
+
+    def test_lint_json_fingerprints_are_stable_across_line_shifts(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        bad = tmp_path / "mod.py"
+        bad.write_text('def f():\n    raise ValueError("x")\n')
+        main(["lint", str(bad), "--json", "--select", "REP001"])
+        first = json.loads(capsys.readouterr().out)["findings"][0]
+        bad.write_text('# moved\n\ndef f():\n    raise ValueError("x")\n')
+        main(["lint", str(bad), "--json", "--select", "REP001"])
+        second = json.loads(capsys.readouterr().out)["findings"][0]
+        assert first["fingerprint"] == second["fingerprint"]
+        assert first["where"] != second["where"]
+
+    def test_lint_clean_path_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "mod.py"
+        good.write_text("def f() -> int:\n    return 1\n")
+        assert main(["lint", str(good), "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []

@@ -16,7 +16,7 @@ from repro.distributed import (
 from repro.errors import DistributedError, UnsupportedQueryError
 from repro.formats.rowexec import execute_on_rows
 from repro.sql.parser import parse_query
-from repro.testing import assert_results_equal
+from repro.testing import SanitizingExecutor, assert_results_equal
 from tests.conftest import make_store
 
 
@@ -213,6 +213,37 @@ class TestSimulatedCluster:
                 serial_metrics.bytes_loaded_from_disk
                 == parallel_metrics.bytes_loaded_from_disk
             ), query
+
+    def test_sanitizer_clean_over_cluster(self, log_table):
+        """Both fan-out seams run under the shared-state sanitizer:
+        the cluster's shard dispatch and every shard store's chunk
+        scans. A sub-query that mutated its captures (the statically
+        certified REP011 contract) would raise here."""
+        cluster = SimulatedCluster.build(
+            log_table,
+            n_shards=5,
+            store_options=_OPTIONS,
+            config=ClusterConfig(
+                n_machines=6, seed=9, executor="parallel", workers=4
+            ),
+        )
+        cluster._executor = SanitizingExecutor(cluster._executor)
+        for shard in cluster.shards:
+            shard.store.executor = SanitizingExecutor(shard.store.executor)
+        single = make_store(log_table)
+        for query in (
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+            "SELECT table_name, SUM(latency) as s FROM data GROUP BY table_name ORDER BY s DESC LIMIT 8",
+        ):
+            distributed, __ = cluster.execute(query)
+            assert_results_equal(
+                distributed.rows(), single.execute(query).rows(), context=query
+            )
+        assert cluster._executor.checked_submissions >= 2
+        assert all(
+            shard.store.executor.checked_submissions >= 2
+            for shard in cluster.shards
+        )
 
     def test_first_query_loads_from_disk_then_memory(self, log_table):
         cluster = SimulatedCluster.build(

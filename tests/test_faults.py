@@ -172,7 +172,7 @@ class TestCorruptionDetection:
 class TestDispatch:
     def test_all_replicas_down_is_unserved(self):
         plan = FaultPlan(FaultConfig(seed=2, crash_rate=1.0), 3)
-        outcome = dispatch_sub_query(plan, 0, 7, [0, 1], lambda m: 0.01)
+        outcome = dispatch_sub_query(plan, 0, 7, [0, 1], lambda m: (0.01, 0))
         assert not outcome.served
         assert outcome.crashes == 2
         kinds = [event.kind for event in outcome.events]
@@ -182,7 +182,7 @@ class TestDispatch:
     def test_fastest_valid_response_wins(self):
         plan = FaultPlan(NO_FAULTS, 3)
         outcome = dispatch_sub_query(
-            plan, 0, 0, [0, 1, 2], lambda m: 0.3 - 0.1 * m
+            plan, 0, 0, [0, 1, 2], lambda m: (0.3 - 0.1 * m, 0)
         )
         assert outcome.served
         assert outcome.winner == 2
@@ -193,7 +193,7 @@ class TestDispatch:
         plan = FaultPlan(FaultConfig(seed=0, deadline_seconds=0.2), 2)
         # Primary overruns the deadline; the replica answers in time.
         outcome = dispatch_sub_query(
-            plan, 0, 0, [0, 1], lambda m: 0.5 if m == 0 else 0.05
+            plan, 0, 0, [0, 1], lambda m: (0.5 if m == 0 else 0.05, 0)
         )
         assert outcome.served
         assert outcome.winner == 1
@@ -206,7 +206,7 @@ class TestDispatch:
             backoff_base_seconds=0.01, backoff_multiplier=2.0,
         )
         plan = FaultPlan(config, 2)
-        outcome = dispatch_sub_query(plan, 0, 0, [0, 1], lambda m: 1.0)
+        outcome = dispatch_sub_query(plan, 0, 0, [0, 1], lambda m: (1.0, 0))
         assert not outcome.served
         assert outcome.retries == 2
         assert outcome.backoff_seconds == pytest.approx(0.01 + 0.02)

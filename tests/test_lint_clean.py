@@ -2,18 +2,24 @@
 
 This is a tier-1 test. Any new finding — a foreign exception type, a
 broad except, a direct codec import, a cross-module private mutation,
-a missing annotation in storage/core/formats, a stray print() — fails
-the suite until it is fixed or explicitly suppressed with a
-``# reprolint: disable=REP00x -- reason`` comment.
+a missing annotation in storage/core/formats, a stray print(), or a
+violation of the process-parallel contract (REP011 — REP015: captured
+writes in executor submissions, impure ``chunk_partial`` closures,
+hash-ordered merge iteration, frombuffer-view mutation, unpicklable
+captures) — fails the suite until it is fixed or explicitly suppressed
+with a ``# reprolint: disable=REP00x -- reason`` comment. Stale
+suppressions fail the gate too (REP016 runs on full passes).
 """
 
 import os
 
-from repro.analysis import run_lint
+from repro.analysis import all_rules, run_lint
 
 _SRC = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro"
 )
+
+_CONCURRENCY_RULES = ["REP011", "REP012", "REP013", "REP014", "REP015"]
 
 
 def test_source_tree_exists():
@@ -26,6 +32,22 @@ def test_reprolint_clean():
     assert report.ok, "\n" + report.to_text()
 
 
+def test_gate_includes_concurrency_rules():
+    # The full run above only certifies REP011-REP015 if they are
+    # actually registered; pin that so dropping a rule fails loudly.
+    registered = {rule.code for rule in all_rules()}
+    assert set(_CONCURRENCY_RULES) <= registered
+
+
+def test_concurrency_rules_clean_standalone():
+    # Also run the process-parallel certification on its own: a
+    # selective run exercises the ProjectRule path (call-graph build,
+    # submission-site discovery) without the module rules' findings
+    # masking an interprocedural regression.
+    report = run_lint([_SRC], select=_CONCURRENCY_RULES)
+    assert report.ok, "\n" + report.to_text()
+
+
 def test_cli_gate_exit_code():
     # The same gate through the CLI surface `repro lint` (exit 0 = clean).
     from repro.analysis.cli import cmd_lint
@@ -35,6 +57,7 @@ def test_cli_gate_exit_code():
     namespace = argparse.Namespace(
         paths=[_SRC],
         format="text",
+        json=False,
         select=None,
         severity=[],
         list_rules=False,

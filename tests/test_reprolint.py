@@ -896,6 +896,142 @@ class TestSuppressions:
         assert report.suppressed == 1
 
 
+class TestUnusedSuppressions:
+    def test_stale_suppression_flagged_on_full_runs(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                x = 1  # reprolint: disable=REP006 -- never fires
+                return x
+            """,
+        )
+        assert report.codes() == {"REP016"}
+        assert "matches no finding" in report.findings[0].message
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_used_suppression_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                print("x")  # reprolint: disable=REP006 -- demo output
+            """,
+        )
+        assert "REP016" not in report.codes()
+        assert report.suppressed == 1
+
+    def test_selective_runs_never_fire_rep016(self, tmp_path):
+        # With --select, most rules don't run, so an unmatched
+        # suppression proves nothing about staleness.
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                x = 1  # reprolint: disable=REP001 -- justified elsewhere
+                return x
+            """,
+            select=["REP006"],
+        )
+        assert report.ok
+
+    def test_rep016_is_itself_suppressible(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                x = 1  # reprolint: disable=REP006,REP016 -- kept for doc parity
+                return x
+            """,
+        )
+        assert "REP016" not in report.codes()
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_reindentation_and_line_shifts(self, tmp_path):
+        first = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                raise ValueError("x")
+            """,
+            select=["REP001"],
+        ).findings[0]
+        (tmp_path / "mod.py").unlink()
+        second = lint_snippet(
+            tmp_path,
+            """
+            # a new leading comment moves every line number
+            UNRELATED = 1
+
+
+            def f():
+                raise ValueError("x")
+            """,
+            select=["REP001"],
+        ).findings[0]
+        assert first.fingerprint == second.fingerprint
+        assert first.symbol == second.symbol == "f"
+        assert first.where != second.where  # lines moved; identity didn't
+
+    def test_same_symbol_occurrences_get_distinct_fingerprints(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def f(flag):
+                if flag:
+                    raise ValueError("a")
+                raise ValueError("b")
+            """,
+            select=["REP001"],
+        )
+        prints = [f.fingerprint for f in report.findings]
+        assert len(prints) == 2
+        assert len(set(prints)) == 2
+
+    def test_fingerprint_and_symbol_in_json(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class C:
+                def f(self):
+                    raise ValueError("x")
+            """,
+            select=["REP001"],
+        )
+        payload = json.loads(report.to_json())
+        finding = payload["findings"][0]
+        assert finding["symbol"] == "C.f"
+        assert len(finding["fingerprint"]) == 12
+
+
+class TestCatalogConsistency:
+    def test_every_rule_has_a_catalog_entry(self):
+        from repro.analysis.catalog import LINT_CATALOG
+
+        catalog_codes = {entry.code for entry in LINT_CATALOG}
+        for rule in all_rules():
+            assert rule.code in catalog_codes, rule.code
+
+    def test_every_rule_has_a_design_md_section(self):
+        design = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "DESIGN.md",
+        )
+        with open(design, encoding="utf-8") as handle:
+            text = handle.read()
+        for rule in all_rules():
+            assert f"| {rule.code} |" in text, (
+                f"{rule.code} missing from the DESIGN.md rule table"
+            )
+
+    def test_rules_docstring_mentions_current_range(self):
+        import repro.analysis.rules as rules_module
+
+        last = max(rule.code for rule in all_rules())
+        assert last in rules_module.__doc__
+
+
 class TestEngine:
     def test_registry_is_complete_and_ordered(self):
         codes = [rule.code for rule in all_rules()]

@@ -1,0 +1,68 @@
+"""Process-pool scan over the shared-memory chunk arena (PR 7).
+
+Second point on the repo's own perf trajectory: `BENCH_PR7.json`
+records the serial / thread / process strategy sweep on the shared log
+workload — wall-clock, rows/s and the per-phase ScanStats split per
+strategy — so the arena-build and pickling overheads of the process
+path are visible next to its GIL-free scan.
+
+What is asserted unconditionally (correctness, not speed):
+
+- every strategy's result rows are bit-identical to serial;
+- no shared-memory segments are leaked once the sweep's executors are
+  closed.
+
+The ≥1.5x speedup criterion needs real cores: a process pool on a
+single-CPU box pays fork + pickle overhead for no parallelism. As in
+PR 2 the assertion is gated on ``os.cpu_count() >= 4``; the measured
+numbers are recorded in the JSON either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import BENCH_ROWS, RESULTS_DIR, emit_report
+from repro.storage.arena import live_segment_names
+from repro.workload.benchscan import (
+    ScanBenchConfig,
+    render_scan_report,
+    run_scan_bench,
+)
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def test_process_scan_trajectory():
+    config = ScanBenchConfig(
+        rows=BENCH_ROWS,
+        workers=(1, 2, 4),
+        policies=("lru",),
+        executors=EXECUTORS,
+        repeats=3,
+    )
+    report = run_scan_bench(config)
+    report["pr"] = 7
+
+    emit_report("process_scan", render_scan_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR7.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Correctness gates — these hold on any machine.
+    assert report["executor_results_identical"]
+    sweep = {entry["executor"]: entry for entry in report["executor_sweep"]}
+    assert set(sweep) == set(EXECUTORS)
+    for entry in sweep.values():
+        assert entry["seconds"] > 0
+        assert entry["rows_per_second"] > 0
+        assert entry["phase_seconds"]["scan"] >= 0
+    # Arena lifecycle: the sweep closed every executor it opened.
+    assert live_segment_names() == []
+
+    # Speedup gate — only meaningful with real cores to fan out over.
+    if (os.cpu_count() or 1) >= 4:
+        assert sweep["process"]["speedup_vs_serial"] >= 1.5

@@ -243,6 +243,16 @@ FSCK_CATALOG: tuple[CatalogEntry, ...] = (
         "truncated or bit-flipped files must fail loudly, never load "
         "as wrong data",
     ),
+    CatalogEntry(
+        "FSCK011",
+        "arena-consistency",
+        "a store's chunk arena round-trips bit-exactly: dictionaries, "
+        "chunk-dictionaries and elements attached from the arena match "
+        "the originals, and the layout has no overlapping or "
+        "misaligned spans",
+        "process workers answer queries from arena views; a divergent "
+        "arena silently returns wrong results in parallel only",
+    ),
 )
 
 

@@ -326,6 +326,35 @@ def _check_serde_chunk(
         )
 
 
+# -- arena round-trip -------------------------------------------------------
+
+
+def _check_arena(report: FindingsReport, store: DataStore) -> None:
+    """Arena consistency invariant (FSCK011).
+
+    Process workers answer queries from read-only arena views, so the
+    arena must reproduce every original field bit-for-bit and its
+    layout must keep buffers aligned and non-overlapping. Delegates to
+    :func:`repro.storage.arena.verify_arena`, which round-trips the
+    store through an anonymous local arena.
+    """
+    from repro.storage.arena import verify_arena
+
+    _check(report, "arena-consistency")
+    try:
+        problems = verify_arena(store)
+    except ReproError as error:
+        _finding(
+            report,
+            "FSCK011",
+            f"arena round-trip raised instead of reporting: {error}",
+            "arena",
+        )
+        return
+    for problem in problems:
+        _finding(report, "FSCK011", problem, "arena")
+
+
 # -- entry points -----------------------------------------------------------
 
 
@@ -374,6 +403,8 @@ def fsck_store(store: DataStore, check_serde: bool = True) -> FindingsReport:
             _check_serde_dictionary(report, field)
 
     _check_partition_codes(report, store)
+    if check_serde:
+        _check_arena(report, store)
     report.findings.sort(key=lambda f: (f.where, f.code))
     return report
 

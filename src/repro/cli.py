@@ -130,11 +130,18 @@ def cmd_import(args: argparse.Namespace) -> int:
 
 
 def _apply_runtime_flags(store: DataStore, args: argparse.Namespace) -> None:
-    """Apply --workers/--cache-policy/--cache-capacity-kb to a store."""
+    """Apply --executor/--workers/--cache-* flags to a loaded store."""
     overrides: dict = {}
+    if getattr(args, "executor", None) is not None:
+        overrides["executor"] = args.executor
     if getattr(args, "workers", None) is not None:
-        overrides["executor"] = "serial" if args.workers <= 1 else "parallel"
+        if "executor" not in overrides:
+            # --workers alone keeps the historical behaviour: >1 means
+            # the thread strategy, 1 means serial.
+            overrides["executor"] = "serial" if args.workers <= 1 else "parallel"
         overrides["workers"] = max(1, args.workers)
+    if getattr(args, "max_workers", None) is not None:
+        overrides["max_workers"] = args.max_workers
     if getattr(args, "cache_policy", None) is not None:
         overrides["cache_policy"] = args.cache_policy
     if getattr(args, "cache_capacity_kb", None) is not None:
@@ -144,13 +151,29 @@ def _apply_runtime_flags(store: DataStore, args: argparse.Namespace) -> None:
 
 
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.core.executor import executor_names
     from repro.storage.cache import policy_names
 
+    parser.add_argument(
+        "--executor",
+        choices=executor_names(),
+        default=None,
+        help=(
+            "chunk-scan strategy: serial, thread/parallel (thread pool), "
+            "or process (shared-memory arena + process pool)"
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="scan worker threads (>1 switches to the parallel executor)",
+        help="scan worker count (without --executor, >1 selects threads)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="cap on the auto-detected worker count (default: all cores)",
     )
     parser.add_argument(
         "--cache-policy",
@@ -254,6 +277,7 @@ def cmd_bench_scan(args: argparse.Namespace) -> int:
         rows=args.rows,
         workers=tuple(int(w) for w in args.workers.split(",")),
         policies=tuple(args.policies.split(",")),
+        executors=tuple(args.executors.split(",")),
         repeats=args.repeats,
         cache_trace_steps=args.trace_steps,
     )
@@ -398,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scan.add_argument(
         "--policies", default="lru,2q,arc", help="comma-separated cache policies"
+    )
+    p_scan.add_argument(
+        "--executors",
+        default="serial,thread,process",
+        help="comma-separated execution strategies to sweep",
     )
     p_scan.add_argument("--repeats", type=int, default=3)
     p_scan.add_argument("--trace-steps", type=int, default=120)

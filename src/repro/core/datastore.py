@@ -102,6 +102,8 @@ class DataStoreOptions:
     # loop fans out and how the per-chunk result cache is bounded.
     executor: str = "serial"
     workers: int | None = None
+    # Cap on the auto-detected worker count (None = use every core).
+    max_workers: int | None = None
     cache_policy: str = "lru"
     cache_capacity_bytes: float = 64 * 1024 * 1024
 
@@ -326,8 +328,17 @@ class DataStore:
         self.fields = fields
         self.import_stats = import_stats
         self._virtual_by_sql: dict[str, str] = {}
+        # Name-independent recipes for re-deriving each virtual field
+        # (virtual names like __v0 depend on materialization order, so
+        # cross-process tasks ship these specs, never the names).
+        self._virtual_specs: dict[str, tuple] = {}
+        # Shared-memory/mmap arena backing (see repro.storage.arena):
+        # set lazily when a process strategy needs picklable tasks, or
+        # by an arena attach. The handle is what pickles.
+        self._arena: Any = None
+        self._arena_handle: Any = None
         self.executor: ExecutionStrategy = make_executor(
-            options.executor, options.workers
+            options.executor, options.workers, options.max_workers
         )
         # Bounded, byte-weighted per-chunk result cache (Section 6).
         # get/put happen only on the merge thread (or under the lock
@@ -443,6 +454,7 @@ class DataStore:
         self,
         executor: str | None = None,
         workers: int | None = None,
+        max_workers: int | None = None,
         cache_policy: str | None = None,
         cache_capacity_bytes: float | None = None,
     ) -> None:
@@ -461,6 +473,8 @@ class DataStore:
             executor_updates["executor"] = executor
         if workers is not None:
             executor_updates["workers"] = workers
+        if max_workers is not None:
+            executor_updates["max_workers"] = max_workers
         cache_updates: dict[str, Any] = {}
         if cache_policy is not None:
             cache_updates["cache_policy"] = cache_policy
@@ -473,8 +487,16 @@ class DataStore:
         )
         if executor_updates:
             self.executor.close()
+            if self._arena is not None and self._arena.is_owner:
+                # close() released every arena the old executor tracked;
+                # drop the dangling reference so the next process-backed
+                # query builds a fresh one.
+                self._arena = None
+                self._arena_handle = None
             self.executor = make_executor(
-                self.options.executor, self.options.workers
+                self.options.executor,
+                self.options.workers,
+                self.options.max_workers,
             )
         if cache_updates:
             with self._cache_lock:
@@ -512,17 +534,30 @@ class DataStore:
 
         clone = self.__class__.__new__(self.__class__)
         memo[id(self)] = clone
-        runtime = {"executor", "_cache_lock", "_chunk_cache"}
+        runtime = {
+            "executor",
+            "_cache_lock",
+            "_chunk_cache",
+            "_arena",
+            "_arena_handle",
+        }
         for key, value in self.__dict__.items():
             if key not in runtime:
                 setattr(clone, key, copy.deepcopy(value, memo))
         clone.executor = make_executor(
-            clone.options.executor, clone.options.workers
+            clone.options.executor,
+            clone.options.workers,
+            clone.options.max_workers,
         )
         clone._cache_lock = threading.Lock()
         clone._chunk_cache = make_cache(
             clone.options.cache_policy, clone.options.cache_capacity_bytes
         )
+        # Arena backing stays with the original: the clone's columns
+        # are fresh copies, so sharing the segment would let a clone
+        # outlive-or-unlink state it does not own.
+        clone._arena = None
+        clone._arena_handle = None
         return clone
 
     def __getstate__(self) -> dict:
@@ -536,19 +571,78 @@ class DataStore:
         runtime objects on the other side.
         """
         state = dict(self.__dict__)
-        for key in ("executor", "_cache_lock", "_chunk_cache"):
+        for key in (
+            "executor",
+            "_cache_lock",
+            "_chunk_cache",
+            "_arena",
+            "_arena_handle",
+        ):
             state.pop(key, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.executor = make_executor(
-            self.options.executor, self.options.workers
+            self.options.executor,
+            self.options.workers,
+            self.options.max_workers,
         )
         self._cache_lock = threading.Lock()
         self._chunk_cache = make_cache(
             self.options.cache_policy, self.options.cache_capacity_bytes
         )
+        self._arena = None
+        self._arena_handle = None
+
+    def __reduce_ex__(self, protocol: int) -> Any:
+        """Arena-backed stores pickle as an attach, not as data.
+
+        When a shareable arena backs this store, the pickle is just
+        ``attach_store(handle)`` — kilobytes instead of the column
+        payload, and every task a worker unpickles resolves to that
+        worker's one cached attached store. Stores without an arena
+        fall back to the regular (full-value) protocol.
+        """
+        if self._arena_handle is not None and self._arena_handle.shareable:
+            from repro.storage.arena import attach_store
+
+            return (attach_store, (self._arena_handle,))
+        return super().__reduce_ex__(protocol)
+
+    # -- arena backing (see repro.storage.arena) ---------------------------------
+    def adopt_arena(self, arena: Any, handle: Any) -> None:
+        """Bind a built or attached chunk arena to this store.
+
+        Called by :mod:`repro.storage.arena` after an attach (the store
+        keeps the mapping alive and re-pickles by handle) and by
+        :meth:`ensure_arena` after a build.
+        """
+        self._arena = arena
+        self._arena_handle = handle
+
+    @property
+    def arena(self) -> Any:
+        """The backing chunk arena, or None (read-only observability)."""
+        return self._arena
+
+    def ensure_arena(self, tracker: ExecutionStrategy | None = None) -> None:
+        """Materialize this store into a shared-memory arena (idempotent).
+
+        ``tracker`` is the execution strategy whose :meth:`close` should
+        unlink the segment — by default this store's own executor. The
+        engine calls this before fanning tasks out to a strategy that
+        ``wants_picklable_tasks``; the distributed layer calls it per
+        shard store, tracking on the cluster's executor instead.
+        """
+        owner = tracker if tracker is not None else self.executor
+        if self._arena is None or self._arena_handle is None:
+            from repro.storage.arena import ChunkArena
+
+            arena = ChunkArena.build(self)
+            self.adopt_arena(arena, arena.handle())
+        if self._arena.is_owner:
+            owner.track_arena(self._arena)
 
     def field(self, name: str) -> FieldStore:
         try:
@@ -586,7 +680,28 @@ class DataStore:
         else:
             name = self._materialize_multi(expr, refs)
         self._virtual_by_sql[key] = name
+        self._virtual_specs[name] = ("expr", expr)
         return name
+
+    def field_spec(self, name: str) -> tuple:
+        """A name-independent recipe for re-deriving field ``name``.
+
+        Virtual names (``__v0``, ...) depend on materialization order,
+        so they cannot cross a process boundary; specs can — original
+        fields travel by name, virtuals by their defining expression
+        (or composite member recipes). Materialization is deterministic
+        (``factorize`` and ``np.unique`` sort), so replaying a spec in
+        a worker yields a bit-identical field and global-id space.
+        """
+        field = self.field(name)
+        if not field.virtual:
+            return ("field", name)
+        try:
+            return self._virtual_specs[name]
+        except KeyError:
+            raise ExecutionError(
+                f"virtual field {name!r} has no recorded spec"
+            ) from None
 
     def _register_virtual(
         self, dictionary: Dictionary, chunks: list[ColumnChunk]
@@ -619,6 +734,7 @@ class DataStore:
         ]
         name = self._register_virtual(dictionary, chunks)
         self._virtual_by_sql[key] = name
+        self._virtual_specs[name] = ("expr", expr)
         return name
 
     def _materialize_single(self, expr: Expr, ref: str) -> str:
@@ -725,6 +841,10 @@ class DataStore:
             )
         name = self._register_virtual(dictionary, chunks)
         self._virtual_by_sql[key] = name
+        self._virtual_specs[name] = (
+            "composite",
+            tuple(self.field_spec(member) for member in member_names),
+        )
         return name
 
     # -- size accounting -----------------------------------------------------------
@@ -825,15 +945,13 @@ class DataStore:
         # Build aggregators; resolve argument fields.
         presence = PresenceAggregator(n_groups)
         aggregators = []
-        arg_names: list[str | None] = []
+        arg_fields: list[FieldStore | None] = []
         for agg in agg_order:
             if isinstance(agg.arg, Star):
-                arg_name = None
                 arg_field = None
             else:
-                arg_name = ensure(agg.arg)
-                arg_field = self.field(arg_name)
-            arg_names.append(arg_name)
+                arg_field = self.field(ensure(agg.arg))
+            arg_fields.append(arg_field)
             aggregators.append(build_aggregator(agg, n_groups, arg_field))
 
         signature = (
@@ -875,16 +993,15 @@ class DataStore:
 
         # Phase 2: fan the pure per-chunk partial computation out over
         # the execution strategy. Workers only read store state (see
-        # the chunk_partial contract in repro.core.engine).
+        # the chunk_partial contract in repro.core.engine). Process
+        # strategies pickle the task, so the store must be arena-backed
+        # first — the pickle then carries an arena handle, not columns.
         phase_started = time.perf_counter()
-
-        def scan_one(task: tuple[int, np.ndarray | None, bool]) -> Any:
-            chunk_index, mask, __ = task
-            return self._compute_partials(
-                chunk_index, group_field, aggregators, arg_names,
-                presence, mask=mask,
-            )
-
+        if self.executor.wants_picklable_tasks and len(to_scan) > 1:
+            self.ensure_arena()
+        scan_one = _ChunkScanTask(
+            self, group_field, aggregators, arg_fields, presence
+        )
         computed = self.executor.map_ordered(scan_one, to_scan)
         stats.scan_seconds += time.perf_counter() - phase_started
 
@@ -1026,7 +1143,7 @@ class DataStore:
         return stats, groups
 
     def _compute_partials(
-        self, chunk_index, group_field, aggregators, arg_names, presence, mask
+        self, chunk_index, group_field, aggregators, arg_fields, presence, mask
     ):
         # row_global_ids is already int64 (cached once per chunk), so no
         # per-aggregator-per-chunk astype copies happen here.
@@ -1038,10 +1155,10 @@ class DataStore:
             )
         data = ChunkData(group_ids=group_ids, mask=mask)
         partials = [presence.chunk_partial(data, None)]
-        for aggregator, arg_name in zip(aggregators, arg_names):
+        for aggregator, arg_field in zip(aggregators, arg_fields):
             arg_ids = (
-                self.field(arg_name).row_global_ids(chunk_index)
-                if arg_name is not None
+                arg_field.row_global_ids(chunk_index)
+                if arg_field is not None
                 else None
             )
             partials.append(aggregator.chunk_partial(data, arg_ids))
@@ -1079,6 +1196,97 @@ class DataStore:
             )
         stats.projection_seconds += time.perf_counter() - phase_started
         return rows
+
+
+def _resolve_field_spec(store: DataStore, spec: tuple) -> str:
+    """Resolve a :meth:`DataStore.field_spec` recipe to a field name.
+
+    Runs inside executor workers against the arena-attached store,
+    which holds only original fields: virtual specs re-materialize on
+    first resolution and memo-hit afterwards (``_virtual_by_sql``), so
+    one worker materializes each virtual field once, not once per task.
+    """
+    kind = spec[0]
+    if kind == "field":
+        return spec[1]
+    if kind == "expr":
+        return store.ensure_field(spec[1])
+    if kind == "composite":
+        members = [_resolve_field_spec(store, member) for member in spec[1]]
+        return store.ensure_composite_field(members)
+    raise ExecutionError(f"unknown field spec kind {kind!r}")
+
+
+class _ChunkScanTask:
+    """The per-chunk scan callable the execution strategies fan out.
+
+    A picklable replacement for the old ``scan_one`` closure (nested
+    functions cannot cross a process boundary). Thread/serial
+    strategies just call it; process strategies pickle it, and the
+    pickle swaps live :class:`FieldStore` references for
+    name-independent field *specs* while the store itself reduces to
+    its arena handle. On unpickle — inside a worker — the specs
+    re-resolve against that worker's attached store. Aggregators and
+    the presence tracker travel by value: they are sized by the
+    caller's group count, and deterministic virtual-field
+    materialization guarantees the worker's global-id space matches.
+
+    ``__call__`` only reads store state (the ``chunk_partial``
+    contract, reprolint REP011/REP012); all mutation happens at
+    unpickle time, before any chunk is scanned.
+    """
+
+    def __init__(self, store, group_field, aggregators, arg_fields, presence):
+        self.store = store
+        self.group_field = group_field
+        self.aggregators = aggregators
+        self.arg_fields = arg_fields
+        self.presence = presence
+
+    def __call__(self, task: tuple[int, np.ndarray | None, bool]) -> Any:
+        chunk_index, mask, __ = task
+        return self.store._compute_partials(
+            chunk_index,
+            self.group_field,
+            self.aggregators,
+            self.arg_fields,
+            self.presence,
+            mask=mask,
+        )
+
+    def __getstate__(self) -> dict:
+        return {
+            "store": self.store,
+            "group_spec": (
+                self.store.field_spec(self.group_field.name)
+                if self.group_field is not None
+                else None
+            ),
+            "arg_specs": [
+                self.store.field_spec(field.name) if field is not None else None
+                for field in self.arg_fields
+            ],
+            "aggregators": self.aggregators,
+            "presence": self.presence,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        store = state["store"]
+        self.store = store
+        group_spec = state["group_spec"]
+        self.group_field = (
+            store.field(_resolve_field_spec(store, group_spec))
+            if group_spec is not None
+            else None
+        )
+        self.arg_fields = [
+            store.field(_resolve_field_spec(store, spec))
+            if spec is not None
+            else None
+            for spec in state["arg_specs"]
+        ]
+        self.aggregators = state["aggregators"]
+        self.presence = state["presence"]
 
 
 def _partials_weight(partials: Any) -> float:

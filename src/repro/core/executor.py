@@ -8,24 +8,38 @@ and folds the partials on the caller's thread. The fan-out part is
 pluggable:
 
 - :class:`SerialExecutor` evaluates tasks inline, one after another.
-- :class:`ParallelExecutor` fans tasks out over a persistent
-  ``concurrent.futures.ThreadPoolExecutor``. The per-chunk kernels are
-  numpy reductions that release the GIL, so threads yield real
-  parallelism on multi-core machines without any pickling.
+- :class:`ParallelExecutor` (alias ``thread``) fans tasks out over a
+  persistent ``concurrent.futures.ThreadPoolExecutor``. The per-chunk
+  kernels are numpy reductions that release the GIL, so threads yield
+  real parallelism on multi-core machines without any pickling.
+- :class:`ProcessExecutor` fans tasks out over a persistent
+  ``ProcessPoolExecutor`` and escapes the GIL entirely. It advertises
+  ``wants_picklable_tasks``: the engine responds by materializing the
+  store into a shared-memory chunk arena
+  (:mod:`repro.storage.arena`), so the pickled task carries only an
+  arena *handle* — workers attach by name and scan zero-copy views,
+  returning pickled partials.
 
 Determinism guarantee: :meth:`ExecutionStrategy.map_ordered` always
 returns results **in submission order**, regardless of completion
 order. Because the merge step (``Aggregator.apply``) runs on the
 calling thread, in that order, parallel execution is bit-identical to
-serial execution — the property test in ``tests/test_executor.py``
-asserts exactly this.
+serial execution — the property tests in ``tests/test_executor.py``
+and ``tests/test_process_executor.py`` assert exactly this, across
+threads and processes.
 """
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
+import pickle
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, TypeVar
 
 from repro.errors import ExecutionError
@@ -35,15 +49,30 @@ _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 
-def default_worker_count() -> int:
-    """The worker count used when callers pass ``workers=None``."""
-    return max(1, min(8, os.cpu_count() or 1))
+def default_worker_count(max_workers: int | None = None) -> int:
+    """The worker count used when callers pass ``workers=None``.
+
+    Defaults to every core the OS reports; ``max_workers`` (the
+    ``DataStoreOptions``/CLI knob) caps it when set, replacing the old
+    silent hard cap of 8 that throttled big boxes.
+    """
+    cpus = os.cpu_count() or 1
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ExecutionError(f"max_workers must be >= 1, got {max_workers}")
+        return max(1, min(cpus, max_workers))
+    return max(1, cpus)
 
 
 class ExecutionStrategy:
     """Common interface: ordered fan-out of independent tasks."""
 
     name = "abstract"
+
+    #: True when tasks cross a process boundary: callables and items
+    #: must pickle, and the engine should arena-back the store so the
+    #: pickle carries a handle instead of the column data.
+    wants_picklable_tasks = False
 
     def map_ordered(
         self,
@@ -60,6 +89,13 @@ class ExecutionStrategy:
 
     def close(self) -> None:
         """Release worker resources (no-op for serial execution)."""
+
+    def track_arena(self, arena: Any) -> None:
+        """Adopt a shared arena for teardown at :meth:`close` (no-op here).
+
+        Strategies that never cross a process boundary have nothing to
+        unlink; :class:`ProcessExecutor` overrides this.
+        """
 
     def describe(self) -> str:
         """Human-readable strategy summary for CLI/status output."""
@@ -91,12 +127,16 @@ class ParallelExecutor(ExecutionStrategy):
 
     name = "parallel"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, max_workers: int | None = None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ExecutionError(
                 f"parallel executor needs >= 1 worker, got {workers}"
             )
-        self.workers = workers if workers is not None else default_worker_count()
+        self.workers = (
+            workers if workers is not None else default_worker_count(max_workers)
+        )
         self._pool: _ThreadPool | None = None
 
     def _ensure_pool(self) -> _ThreadPool:
@@ -147,9 +187,170 @@ class ParallelExecutor(ExecutionStrategy):
         return f"parallel({self.workers})"
 
 
+def _pool_context() -> Any:
+    """The multiprocessing context for worker pools (fork when available).
+
+    Forked workers inherit the parent's imports and attached-arena
+    caches for free; on platforms without fork the default (spawn)
+    context still works because tasks pickle by design.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+#: Worker-side cache of unpickled batch callables, keyed by token.
+#: Bounded so a long-lived worker serving many stores cannot pin every
+#: attached store its past batches referenced.
+_WORKER_FN_CACHE: "OrderedDict[tuple[int, int], Callable[..., Any]]" = (
+    OrderedDict()
+)
+_WORKER_FN_CACHE_MAX = 4
+
+_fn_tokens = itertools.count()
+
+
+def _invoke_submission(
+    token: tuple[int, int], payload: bytes, item: Any
+) -> Any:
+    """Worker-side trampoline: unpickle the batch callable once, run one item.
+
+    ``map_ordered`` pickles ``fn`` a single time per batch and ships the
+    same ``(pid, sequence)``-tokenized payload with every submission;
+    workers deserialize it on first sight and reuse it for the rest of
+    the batch, so a 100-chunk scan costs one unpickle per worker — not
+    one per chunk.
+    """
+    fn = _WORKER_FN_CACHE.get(token)
+    if fn is None:
+        fn = pickle.loads(payload)
+        _WORKER_FN_CACHE[token] = fn
+        while len(_WORKER_FN_CACHE) > _WORKER_FN_CACHE_MAX:
+            _WORKER_FN_CACHE.popitem(last=False)
+    return fn(item)
+
+
+class ProcessExecutor(ExecutionStrategy):
+    """Process-pool fan-out — the GIL-free strategy.
+
+    Tasks cross a process boundary, so ``wants_picklable_tasks`` tells
+    the engine to arena-back the store: the pickled callable then
+    reduces to a shared-memory :class:`~repro.storage.arena.ArenaHandle`
+    that workers attach by name, scanning read-only zero-copy views.
+    Partials come back pickled and merge on the caller's thread in
+    submission order — bit-identical to :class:`SerialExecutor`.
+
+    The executor owns the arenas it is handed via :meth:`track_arena`:
+    :meth:`close` shuts the pool down and unlinks every segment, and a
+    module-level ``atexit`` hook in :mod:`repro.storage.arena` backstops
+    crash paths.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int | None = None, max_workers: int | None = None
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError(
+                f"process executor needs >= 1 worker, got {workers}"
+            )
+        self.workers = (
+            workers if workers is not None else default_worker_count(max_workers)
+        )
+        self._pool: _ProcessPool | None = None
+        self._arenas: list[Any] = []
+
+    @property
+    def wants_picklable_tasks(self) -> bool:  # type: ignore[override]
+        # A single worker runs inline (see map_ordered), so nothing
+        # crosses a process boundary and no arena is needed.
+        return self.workers > 1
+
+    def _ensure_pool(self) -> _ProcessPool:
+        if self._pool is None:
+            self._pool = _ProcessPool(
+                max_workers=self.workers, mp_context=_pool_context()
+            )
+        return self._pool
+
+    def map_ordered(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Sequence[_Item],
+    ) -> list[_Result]:
+        tasks = list(items)
+        if self.workers == 1 or len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        try:
+            payload = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            raise ExecutionError(
+                f"task callable does not pickle: {type(error).__name__}: "
+                f"{error}"
+            ) from error
+        token = (os.getpid(), next(_fn_tokens))
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_invoke_submission, token, payload, item)
+            for item in tasks
+        ]
+        counters.increment("executor.process.batches")
+        counters.increment("executor.process.tasks", len(futures))
+        try:
+            # Submission order, not completion order: the determinism
+            # guarantee the merge step relies on.
+            return [future.result() for future in futures]
+        except BrokenProcessPool as error:
+            # A worker died hard (segfault, OOM-kill). The pool is
+            # unusable; drop it so the next batch starts a fresh one.
+            self._pool = None
+            raise ExecutionError(
+                f"process pool broke mid-batch: {error}"
+            ) from error
+
+    def track_arena(self, arena: Any) -> None:
+        """Adopt ``arena`` for unlinking when this executor closes."""
+        if all(existing is not arena for existing in self._arenas):
+            self._arenas.append(arena)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        # Pool first, arenas second: workers drop their mappings before
+        # the segments they map are unlinked.
+        arenas, self._arenas = self._arenas, []
+        for arena in arenas:
+            arena.release()
+
+    def __getstate__(self) -> dict:
+        """Pickle the configuration, never the pool or arena ownership.
+
+        An unpickled executor starts pool-less (same lazy lifecycle as
+        a fresh instance) and owns no arenas — segment lifetime stays
+        with the process that created them.
+        """
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        state["_arenas"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool = None
+        self._arenas = []
+
+    def describe(self) -> str:
+        return f"process({self.workers})"
+
+
 _STRATEGIES: dict[str, type[ExecutionStrategy]] = {
     SerialExecutor.name: SerialExecutor,
     ParallelExecutor.name: ParallelExecutor,
+    # "thread" names what the strategy actually is; "parallel" predates
+    # the process strategy and stays for compatibility.
+    "thread": ParallelExecutor,
+    ProcessExecutor.name: ProcessExecutor,
 }
 
 
@@ -159,13 +360,17 @@ def executor_names() -> list[str]:
 
 
 def make_executor(
-    name: str, workers: int | None = None
+    name: str,
+    workers: int | None = None,
+    max_workers: int | None = None,
 ) -> ExecutionStrategy:
-    """Build an execution strategy by name ('serial', 'parallel').
+    """Build an execution strategy by name.
 
-    ``workers`` only applies to the parallel strategy; passing it with
-    ``serial`` is accepted and ignored so callers can thread one pair
-    of knobs through unconditionally.
+    Names: ``serial``, ``parallel``/``thread`` (thread pool),
+    ``process``. ``workers`` pins an exact count; ``max_workers`` caps
+    the auto-detected default instead. Both are accepted and ignored by
+    ``serial`` so callers can thread one set of knobs through
+    unconditionally.
     """
     try:
         cls = _STRATEGIES[name]
@@ -173,6 +378,6 @@ def make_executor(
         raise ExecutionError(
             f"unknown executor {name!r}; choose from {executor_names()}"
         ) from None
-    if cls is ParallelExecutor:
-        return ParallelExecutor(workers)
+    if cls in (ParallelExecutor, ProcessExecutor):
+        return cls(workers, max_workers)
     return cls()

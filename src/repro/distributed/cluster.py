@@ -194,6 +194,22 @@ class _MachineMemory:
         return size
 
 
+class _ShardPartialTask:
+    """The shard fan-out callable (a lambda would not pickle).
+
+    Captures only the parsed query (frozen AST dataclasses, picklable);
+    the shard arrives as the mapped item, so under the process strategy
+    the worker unpickles a Shard whose arena-backed store attaches by
+    handle rather than shipping column data.
+    """
+
+    def __init__(self, parsed: Query) -> None:
+        self.parsed = parsed
+
+    def __call__(self, shard: Shard) -> tuple[ScanStats, object]:
+        return shard.store.execute_partials(self.parsed)
+
+
 class SimulatedCluster:
     """Shards + machines + replication + a deterministic cost model."""
 
@@ -242,6 +258,10 @@ class SimulatedCluster:
             for index, piece in enumerate(pieces)
         ]
         return cls(shards, config)
+
+    def close(self) -> None:
+        """Release the in-process executor (and any shard arenas it owns)."""
+        self._executor.close()
 
     # -- cost model ------------------------------------------------------------
     def _load_multiplier(self) -> float:
@@ -315,12 +335,18 @@ class SimulatedCluster:
         # fan them out over the executor. The deterministic cost model
         # and every fault draw stay on the merge thread, consuming
         # results in shard order, so simulated timings, fault events
-        # and counters are identical under any executor.
+        # and counters are identical under any executor. Under the
+        # process strategy each shard store is materialized into a
+        # shared-memory arena first, so the pickled Shard carries only
+        # an attach handle (segments unlink when this cluster closes).
+        if self._executor.wants_picklable_tasks and len(reachable) > 1:
+            for shard in reachable:
+                shard.store.ensure_arena(self._executor)
         shard_results = dict(
             zip(
                 (shard.shard_id for shard in reachable),
                 self._executor.map_ordered(
-                    lambda shard: shard.store.execute_partials(parsed),
+                    _ShardPartialTask(parsed),
                     reachable,
                 ),
             )

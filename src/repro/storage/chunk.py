@@ -35,6 +35,23 @@ class ColumnChunk:
         self.elements = elements
 
     @classmethod
+    def from_trusted_parts(
+        cls, chunk_dict: np.ndarray, elements: Elements
+    ) -> "ColumnChunk":
+        """Wrap pre-validated parts without copying or re-checking.
+
+        Arena attaches rebuild every chunk from buffers whose builder
+        already validated them; re-running the strictly-ascending scan
+        per attach would eat into the zero-copy win, and the uint32
+        views must be adopted as-is (read-only). Callers guarantee a
+        1-d strictly-ascending uint32 ``chunk_dict``.
+        """
+        chunk = cls.__new__(cls)
+        chunk.chunk_dict = chunk_dict
+        chunk.elements = elements
+        return chunk
+
+    @classmethod
     def from_global_ids(
         cls, global_ids: np.ndarray, optimized: bool = True
     ) -> "ColumnChunk":

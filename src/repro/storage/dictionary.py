@@ -273,6 +273,21 @@ class NumericDictionary(Dictionary):
         self._optimized = optimized and self._is_int
 
     @property
+    def optimized(self) -> bool:
+        """Whether integer payloads offset-pack in ``to_bytes``."""
+        return self._optimized
+
+    def raw_values(self) -> np.ndarray:
+        """The sorted value array itself (callers must treat as read-only).
+
+        Flat-buffer stores (:mod:`repro.storage.arena`) persist this
+        array verbatim so attaches can wrap it zero-copy; a rebuilt
+        dictionary round-trips ``optimized`` separately, keeping
+        ``to_bytes`` byte-identical across the trip.
+        """
+        return self._values
+
+    @property
     def _n_non_null(self) -> int:
         return int(self._values.size)
 

@@ -59,6 +59,10 @@ class Elements:
         """Serialized payload (fed to compression codecs)."""
         raise NotImplementedError
 
+    def payload_bytes(self) -> "bytes | memoryview":
+        """Raw payload for flat-buffer stores (see :mod:`repro.storage.arena`)."""
+        return self.to_bytes()
+
     def __getitem__(self, row: int) -> int:
         return int(self.as_array()[row])
 
@@ -168,6 +172,11 @@ class PackedElements(Elements):
 
     def to_bytes(self) -> bytes:
         return self._ids.tobytes()
+
+    def payload_bytes(self) -> memoryview:
+        # Zero-copy: the ids array (kept contiguous by __init__) viewed
+        # as bytes, so arena builds write it straight into the buffer.
+        return self._ids.data.cast("B")
 
     def __getitem__(self, row: int) -> int:
         return int(self._ids[row])

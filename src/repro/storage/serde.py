@@ -255,6 +255,51 @@ def verify_crc32_tag(tag: bytes, body: bytes) -> bool:
 # -- whole store ------------------------------------------------------------------------
 
 
+def options_to_dict(options: DataStoreOptions) -> dict:
+    """``DataStoreOptions`` as the JSON header mapping all formats share.
+
+    Public because the chunk arena (:mod:`repro.storage.arena`) embeds
+    the same options block in its own header; one codec keeps the two
+    formats from drifting.
+    """
+    return {
+        "table_name": options.table_name,
+        "partition_fields": options.partition_fields,
+        "max_chunk_rows": options.max_chunk_rows,
+        "reorder_rows": options.reorder_rows,
+        "optimized_columns": options.optimized_columns,
+        "optimized_dicts": options.optimized_dicts,
+        "cache_chunk_results": options.cache_chunk_results,
+        "executor": options.executor,
+        "workers": options.workers,
+        "max_workers": options.max_workers,
+        "cache_policy": options.cache_policy,
+        "cache_capacity_bytes": options.cache_capacity_bytes,
+    }
+
+
+def options_from_dict(raw_options: dict) -> DataStoreOptions:
+    """Inverse of :func:`options_to_dict`, tolerant of older headers."""
+    partition = raw_options["partition_fields"]
+    return DataStoreOptions(
+        table_name=raw_options["table_name"],
+        partition_fields=tuple(partition) if partition else None,
+        max_chunk_rows=raw_options["max_chunk_rows"],
+        reorder_rows=raw_options["reorder_rows"],
+        optimized_columns=raw_options["optimized_columns"],
+        optimized_dicts=raw_options["optimized_dicts"],
+        cache_chunk_results=raw_options["cache_chunk_results"],
+        # Runtime knobs: absent in files written before they existed.
+        executor=raw_options.get("executor", "serial"),
+        workers=raw_options.get("workers"),
+        max_workers=raw_options.get("max_workers"),
+        cache_policy=raw_options.get("cache_policy", "lru"),
+        cache_capacity_bytes=raw_options.get(
+            "cache_capacity_bytes", 64 * 1024 * 1024
+        ),
+    )
+
+
 def save_store(store: DataStore, path: str) -> int:
     """Write all original fields of ``store`` to ``path``.
 
@@ -264,19 +309,7 @@ def save_store(store: DataStore, path: str) -> int:
         name for name, field in store.fields.items() if not field.virtual
     ]
     header = {
-        "options": {
-            "table_name": store.options.table_name,
-            "partition_fields": store.options.partition_fields,
-            "max_chunk_rows": store.options.max_chunk_rows,
-            "reorder_rows": store.options.reorder_rows,
-            "optimized_columns": store.options.optimized_columns,
-            "optimized_dicts": store.options.optimized_dicts,
-            "cache_chunk_results": store.options.cache_chunk_results,
-            "executor": store.options.executor,
-            "workers": store.options.workers,
-            "cache_policy": store.options.cache_policy,
-            "cache_capacity_bytes": store.options.cache_capacity_bytes,
-        },
+        "options": options_to_dict(store.options),
         "n_rows": store.n_rows,
         "chunk_row_counts": store.chunk_row_counts,
         "fields": [
@@ -348,24 +381,7 @@ def _parse_store_body(data: bytes, pos: int) -> DataStore:
     header = json.loads(data[pos : pos + header_len].decode("utf-8"))
     pos += header_len
 
-    raw_options = header["options"]
-    partition = raw_options["partition_fields"]
-    options = DataStoreOptions(
-        table_name=raw_options["table_name"],
-        partition_fields=tuple(partition) if partition else None,
-        max_chunk_rows=raw_options["max_chunk_rows"],
-        reorder_rows=raw_options["reorder_rows"],
-        optimized_columns=raw_options["optimized_columns"],
-        optimized_dicts=raw_options["optimized_dicts"],
-        cache_chunk_results=raw_options["cache_chunk_results"],
-        # Runtime knobs: absent in files written before they existed.
-        executor=raw_options.get("executor", "serial"),
-        workers=raw_options.get("workers"),
-        cache_policy=raw_options.get("cache_policy", "lru"),
-        cache_capacity_bytes=raw_options.get(
-            "cache_capacity_bytes", 64 * 1024 * 1024
-        ),
-    )
+    options = options_from_dict(header["options"])
     chunk_row_counts = list(header["chunk_row_counts"])
 
     fields: dict[str, FieldStore] = {}

@@ -132,7 +132,16 @@ _MAX_FINGERPRINT_DEPTH = 10
 #: Modules whose instances are runtime machinery, not data: their
 #: internal state legitimately changes across a fan-out (pool threads
 #: spin up, locks toggle) and never feeds results.
-_OPAQUE_MODULES = ("_thread", "threading", "concurrent", "queue", "_io", "io")
+_OPAQUE_MODULES = (
+    "_thread",
+    "threading",
+    "concurrent",
+    "queue",
+    "_io",
+    "io",
+    "multiprocessing",
+    "mmap",
+)
 
 
 def captured_objects(fn: Callable[..., Any]) -> dict[str, Any]:
@@ -166,6 +175,18 @@ def captured_objects(fn: Callable[..., Any]) -> dict[str, Any]:
                 captured[name] = cell.cell_contents
             except ValueError:
                 continue  # still-empty cell (recursive def)
+    elif code is None and not isinstance(
+        fn,
+        (
+            types.FunctionType,
+            types.BuiltinFunctionType,
+            types.MethodType,
+            type,
+        ),
+    ):
+        # A callable instance (e.g. a picklable scan task): everything
+        # it carries lives on the instance itself.
+        captured["self"] = fn
     return captured
 
 
@@ -218,6 +239,11 @@ def state_fingerprint(
     on_path = _on_path | {id(obj)}
     nxt = _depth + 1
     type_name = type(obj).__name__
+    if type_name == "ChunkArena" and hasattr(obj, "fingerprint_key"):
+        # The arena's backing handles (SharedMemory, mmap) are runtime
+        # machinery; its mapped *bytes* are what workers must never
+        # write. Hash the contents instead of walking the wrapper.
+        return ("arena", obj.fingerprint_key())
     if type_name == "ndarray":  # numpy, without importing it here
         if obj.dtype == object:
             return (
@@ -347,6 +373,18 @@ class SanitizingExecutor(ExecutionStrategy):
         self.inner = inner
         self.checked_submissions = 0
         self.checked_captures = 0
+        self._tracked_arenas: list[Any] = []
+
+    @property
+    def wants_picklable_tasks(self) -> bool:
+        """Forwarded so a wrapped process pool still gets arena tasks."""
+        return self.inner.wants_picklable_tasks
+
+    def track_arena(self, arena: Any) -> None:
+        """Adopt the arena for lifecycle *and* put it under watch."""
+        if all(existing is not arena for existing in self._tracked_arenas):
+            self._tracked_arenas.append(arena)
+        self.inner.track_arena(arena)
 
     def map_ordered(
         self,
@@ -354,6 +392,10 @@ class SanitizingExecutor(ExecutionStrategy):
         items: Sequence[Any],
     ) -> list[Any]:
         captured = captured_objects(fn)
+        for index, arena in enumerate(self._tracked_arenas):
+            # Arena bytes are shared with every worker; any write there
+            # is a mutation even if no captured object references it.
+            captured.setdefault(f"arena[{index}]", arena)
         before = {
             name: state_fingerprint(value)
             for name, value in captured.items()

@@ -7,7 +7,7 @@ One reusable implementation behind both surfaces that run it:
   trajectory point (``BENCH_PR2.json``) so scan-path regressions are
   visible PR over PR (the ScanTwin idea from PAPERS.md).
 
-Two sweeps, both on the shared synthetic log workload:
+Three sweeps, all on the shared synthetic log workload:
 
 1. **Workers** — the same aggregation workload through
    :class:`~repro.core.executor.SerialExecutor` and
@@ -15,7 +15,13 @@ Two sweeps, both on the shared synthetic log workload:
    worker count, with chunk-result caching off so every pass measures
    the scan itself. Result rows are compared against serial on every
    configuration (the determinism guarantee, re-checked here).
-2. **Cache policies** — a hot-set + one-off-scan query trace against a
+2. **Executors** — the same workload through each registered execution
+   strategy (serial / thread / process) at the default worker count,
+   with per-phase :class:`~repro.core.result.ScanStats` recorded so the
+   process strategy's arena-build and pickling overheads are visible
+   next to its GIL-free scan. Bit-identity against serial is asserted
+   per strategy.
+3. **Cache policies** — a hot-set + one-off-scan query trace against a
    chunk cache deliberately sized *below* the working set, per policy;
    reports hit/miss/eviction counts and resident bytes, demonstrating
    bounded memory under eviction pressure.
@@ -63,6 +69,7 @@ class ScanBenchConfig:
     rows: int = 60_000
     workers: tuple[int, ...] = (1, 2, 4)
     policies: tuple[str, ...] = ("lru", "2q", "arc")
+    executors: tuple[str, ...] = ("serial", "thread", "process")
     repeats: int = 3
     chunk_rows: int | None = None
     cache_trace_steps: int = 120
@@ -147,6 +154,70 @@ def _worker_sweep(table: Any, config: ScanBenchConfig) -> dict[str, Any]:
     }
 
 
+def _timed_pass_with_stats(
+    store: DataStore, queries: tuple[str, ...], repeats: int
+):
+    """Like :func:`_timed_pass` but keeps the per-phase ScanStats sums."""
+    rows = [store.execute(sql).sorted_rows() for sql in queries]  # warm
+    best = float("inf")
+    phases = {"restriction": 0.0, "scan": 0.0, "merge": 0.0}
+    rows_scanned = 0
+    for __ in range(repeats):
+        started = time.perf_counter()
+        results = [store.execute(sql) for sql in queries]
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            phases = {
+                "restriction": sum(r.stats.restriction_seconds for r in results),
+                "scan": sum(r.stats.scan_seconds for r in results),
+                "merge": sum(r.stats.merge_seconds for r in results),
+            }
+            rows_scanned = sum(r.stats.rows_scanned for r in results)
+    return best, phases, rows_scanned, rows
+
+
+def _executor_sweep(table: Any, config: ScanBenchConfig) -> dict[str, Any]:
+    """The serial/thread/process strategy sweep (BENCH_PR7's subject)."""
+    results: list[dict[str, Any]] = []
+    serial_rows = None
+    serial_seconds = None
+    identical = True
+    for name in config.executors:
+        store = _build_store(
+            table, config, cache_chunk_results=False, executor=name
+        )
+        seconds, phases, rows_scanned, rows = _timed_pass_with_stats(
+            store, _HOT_QUERIES, config.repeats
+        )
+        if serial_rows is None:
+            # The first strategy in the sweep (serial by default) is
+            # the bit-identity reference for the rest.
+            serial_rows = rows
+            serial_seconds = seconds
+        else:
+            identical = identical and rows == serial_rows
+        results.append(
+            {
+                "executor": name,
+                "describe": store.executor.describe(),
+                "seconds": seconds,
+                "phase_seconds": phases,
+                "rows_per_second": (
+                    rows_scanned / seconds if seconds > 0 else 0.0
+                ),
+                "speedup_vs_serial": (
+                    serial_seconds / seconds if serial_seconds else 1.0
+                ),
+            }
+        )
+        store.executor.close()
+    return {
+        "executor_sweep": results,
+        "executor_results_identical": identical,
+    }
+
+
 def _cache_trace(store: DataStore, config: ScanBenchConfig) -> float:
     """Hot queries with periodic one-off signatures; returns seconds."""
     one_offs = [
@@ -213,6 +284,7 @@ def run_scan_bench(config: ScanBenchConfig | None = None) -> dict[str, Any]:
         "queries": list(_HOT_QUERIES),
     }
     report.update(_worker_sweep(table, config))
+    report.update(_executor_sweep(table, config))
     report["cache_policies"] = _policy_sweep(table, config)
     return report
 
@@ -236,6 +308,22 @@ def render_scan_report(report: dict[str, Any]) -> list[str]:
         "parallel == serial results: "
         + ("yes" if report["results_identical_to_serial"] else "NO — BUG")
     )
+    lines.append("")
+    lines.append("execution strategies (default worker count):")
+    for entry in report.get("executor_sweep", []):
+        phases = entry["phase_seconds"]
+        lines.append(
+            f"  {entry['describe']:<14} {1000 * entry['seconds']:8.1f} ms  "
+            f"{entry['rows_per_second']:12,.0f} rows/s  "
+            f"(scan {1000 * phases['scan']:.1f} ms, "
+            f"merge {1000 * phases['merge']:.1f} ms, "
+            f"speedup {entry['speedup_vs_serial']:.2f}x)"
+        )
+    if "executor_results_identical" in report:
+        lines.append(
+            "strategies == serial results: "
+            + ("yes" if report["executor_results_identical"] else "NO — BUG")
+        )
     lines.append("")
     lines.append("bounded chunk-cache under eviction pressure:")
     for entry in report["cache_policies"]:

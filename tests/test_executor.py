@@ -14,6 +14,7 @@ The tentpole guarantees of the executor rework, tested head-on:
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 
@@ -23,6 +24,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.core.datastore import DataStore, DataStoreOptions
 from repro.core.executor import (
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     default_worker_count,
     executor_names,
@@ -118,10 +120,25 @@ class TestParallelMatchesSerial:
 
 class TestExecutorPrimitives:
     def test_registry(self):
-        assert executor_names() == ["parallel", "serial"]
+        assert executor_names() == ["parallel", "process", "serial", "thread"]
         assert isinstance(make_executor("serial", None), SerialExecutor)
         assert isinstance(make_executor("parallel", 2), ParallelExecutor)
+        assert isinstance(make_executor("thread", 2), ParallelExecutor)
+        assert isinstance(make_executor("process", 2), ProcessExecutor)
         assert default_worker_count() >= 1
+
+    def test_max_workers_caps_default(self):
+        assert default_worker_count(max_workers=1) == 1
+        assert default_worker_count(max_workers=10_000) == (os.cpu_count() or 1)
+        with pytest.raises(ExecutionError):
+            default_worker_count(max_workers=0)
+
+    def test_make_executor_honours_max_workers(self):
+        executor = make_executor("parallel", None, 1)
+        try:
+            assert executor.workers == 1
+        finally:
+            executor.close()
 
     def test_unknown_name_raises(self):
         with pytest.raises(ExecutionError):

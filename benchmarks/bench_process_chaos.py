@@ -1,0 +1,97 @@
+"""Supervised process execution under REAL worker faults (PR 8).
+
+Not a paper table — the next point of the repo's own trajectory:
+`BENCH_PR8.json` records recovery latency, row coverage and the
+respawn/retry/timeout totals of the process executor while a seeded
+chaos plan SIGKILLs its workers, ``os._exit``s them and hangs them
+mid-scan, so later PRs can diff real (not simulated) fault handling.
+
+What is asserted unconditionally (correctness, not speed):
+
+- the fault-free scenario is fully available with full coverage and no
+  recovery machinery engaged;
+- every transient-fault scenario (one-shot kill / exit / hang)
+  recovers to 100% availability, and every result the executor reports
+  as *complete* matches the fault-free serial reference row-for-row;
+- the persistent-kill scenario degrades rather than fails: incomplete
+  answers carry an exact row-coverage fraction, and the loss stays
+  confined (the isolation pass saves every collateral chunk);
+- no scenario leaks a shared-memory segment.
+
+Recovery *speed* depends on the host (pool respawn latency is real
+wall-clock here), so the latency gates only run with >= 4 cores —
+on smaller boxes the numbers are still recorded, never asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import RESULTS_DIR, emit_report
+from repro.workload.chaosbench import (
+    ProcessChaosBenchConfig,
+    render_process_chaos_report,
+    run_process_chaos_bench,
+)
+
+_TRANSIENT = ("kill", "exit", "hang")
+
+
+def test_process_chaos_trajectory():
+    config = ProcessChaosBenchConfig(
+        rows=4_000,
+        workers=2,
+        queries_per_scenario=3,
+        deadline_seconds=0.75,
+        max_retries=2,
+    )
+    report = run_process_chaos_bench(config)
+    report["pr"] = 8
+
+    emit_report("process_chaos", render_process_chaos_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR8.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    points = {point["scenario"]: point for point in report["scenarios"]}
+
+    # Fault-free baseline: nothing to recover from.
+    baseline = points["none"]
+    assert baseline["availability"] == 1.0
+    assert baseline["mean_row_coverage"] == 1.0
+    assert baseline["respawns"] == 0
+    assert baseline["unserved_tasks"] == 0
+
+    # Transient faults: the supervisor recovers everything, and every
+    # complete answer is bit-identical to the serial reference.
+    for name in _TRANSIENT:
+        point = points[name]
+        assert point["availability"] == 1.0, name
+        assert point["mean_row_coverage"] == 1.0, name
+        assert point["unserved_tasks"] == 0, name
+        assert point["respawns"] >= 1, name  # the fault really fired
+
+    # Persistent kill: graceful degradation with exact accounting —
+    # only the poisoned chunk is lost, never its wave siblings.
+    poisoned = points["kill-persistent"]
+    assert poisoned["availability"] == 0.0
+    assert 0.0 < poisoned["min_row_coverage"] < 1.0
+    assert poisoned["unserved_tasks"] == config.queries_per_scenario
+
+    # Universal gates: no silent wrong answers, exact coverage, no
+    # leaked shared memory, anywhere.
+    for point in report["scenarios"]:
+        assert point["complete_results_match_reference"], point["scenario"]
+        assert point["coverage_accounting_exact"], point["scenario"]
+        assert point["leaked_segments"] == [], point["scenario"]
+
+    # Recovery-speed gates: real wall clock, so only on hosts with
+    # enough cores that pool respawns are not serialized with the scan.
+    if (os.cpu_count() or 1) >= 4:
+        for name in ("kill", "exit"):
+            overhead = points[name]["recovery_overhead_ms"]
+            assert overhead < 5_000, (name, overhead)
+        # A hung worker costs at least one deadline but not many.
+        hang_overhead = points["hang"]["recovery_overhead_ms"]
+        assert hang_overhead < 10_000 * config.deadline_seconds, hang_overhead

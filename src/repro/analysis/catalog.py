@@ -167,6 +167,15 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "stale suppressions hide the rules they once silenced; pruning "
         "them keeps each remaining opt-out a live, justified decision",
     ),
+    CatalogEntry(
+        "REP017",
+        "unbounded-future-wait",
+        "every .result()/.join() call in core/executor.py passes a "
+        "bounded timeout",
+        "an unbounded wait on a dead or hung worker wedges the "
+        "supervisor forever — the exact failure the supervision layer "
+        "exists to survive",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

@@ -1,4 +1,4 @@
-"""The built-in reprolint rules (REP001 — REP016).
+"""The built-in reprolint rules (REP001 — REP017).
 
 Each rule encodes one repo convention that keeps the storage layer's
 invariants enforceable:
@@ -70,6 +70,12 @@ definitions, buffer taint — instead of per-node patterns:
   opt-outs cannot accumulate. The detection lives in the engine
   (:func:`repro.analysis.lint.run_lint`), which alone knows which
   suppressions matched.
+
+- REP017 — bounded waits on the execution hot path: inside
+  ``core/executor.py`` every ``.result()``/``.join()`` call must pass
+  a timeout, so no wait can outlive the supervision deadline — an
+  unbounded wait on a dead or hung worker is exactly the wedge the
+  supervisor exists to survive.
 """
 
 from __future__ import annotations
@@ -1319,3 +1325,51 @@ class UnusedSuppressionRule(LintRule):
 
     def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
         return ()  # engine-driven; see run_lint
+
+
+@lint_rule
+class UnboundedFutureWaitRule(LintRule):
+    """REP017: hot-path future waits must carry a bounded timeout.
+
+    The process supervisor's whole fault model rests on one mechanical
+    guarantee: no wait in ``core/executor.py`` can outlive the task
+    deadline. A bare ``future.result()`` blocks forever on a hung
+    worker, and a bare ``worker.join()`` blocks forever on one that
+    never exits — either reintroduces exactly the wedge the
+    supervision layer exists to survive, silently, on the module most
+    likely to be edited under pressure. Every ``.result``/``.join``
+    call there must pass a timeout (``str.join`` always takes its one
+    iterable argument, so zero-argument calls cannot be it). The one
+    sanctioned exception — the thread strategy, whose workers cannot
+    be killed so a deadline adds no recovery path — carries a line
+    suppression with that reason.
+    """
+
+    code = "REP017"
+    name = "unbounded-future-wait"
+    description = (
+        "a zero-argument .result() or .join() call in core/executor.py "
+        "can block forever on a dead or hung worker; pass a bounded "
+        "timeout (see SupervisionConfig.task_deadline_seconds)"
+    )
+    default_severity = Severity.ERROR
+    only_files = ("core/executor.py",)
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("result", "join")
+                and not node.args
+                and not node.keywords
+            ):
+                yield RawFinding(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"unbounded .{node.func.attr}() wait on the "
+                        "execution hot path; pass timeout= so a dead or "
+                        "hung worker cannot wedge the supervisor"
+                    ),
+                )

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``):
     python -m repro info store.pds
     python -m repro demo --rows 50000
     python -m repro chaos --crash-rate 0,0.05,0.2,0.5 --fault-seed 7
+    python -m repro chaos --local --rows 4000 --queries 3
     python -m repro lint src/repro
     python -m repro fsck store.pds
 
@@ -345,9 +346,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.workload.chaosbench import (
         ChaosBenchConfig,
+        ProcessChaosBenchConfig,
         render_chaos_report,
+        render_process_chaos_report,
         run_chaos_bench,
+        run_process_chaos_bench,
     )
+
+    if args.local:
+        local_config = ProcessChaosBenchConfig(
+            rows=args.rows,
+            workers=args.local_workers,
+            queries_per_scenario=args.queries,
+            deadline_seconds=args.sub_query_deadline_ms / 1000.0,
+            max_retries=args.max_retries,
+            fault_seed=args.fault_seed,
+        )
+        report = run_process_chaos_bench(local_config)
+        print("\n".join(render_process_chaos_report(report)))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"\nwrote {args.output}")
+        return 0
 
     config = ChaosBenchConfig(
         rows=args.rows,
@@ -499,6 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-attempt deadline in milliseconds",
     )
     p_chaos.add_argument("--max-retries", type=int, default=2)
+    p_chaos.add_argument(
+        "--local",
+        action="store_true",
+        help="run the local process-chaos bench instead: REAL worker "
+        "faults (SIGKILL, os._exit, hangs) against the process "
+        "executor on this machine (--rows, --queries, "
+        "--sub-query-deadline-ms, --max-retries and --fault-seed "
+        "apply; the cluster flags are ignored)",
+    )
+    p_chaos.add_argument(
+        "--local-workers",
+        type=int,
+        default=2,
+        help="process-pool workers for --local",
+    )
     p_chaos.add_argument(
         "--output", default=None, help="write the JSON report here"
     )

@@ -37,7 +37,12 @@ from repro.core.engine import (
     PresenceAggregator,
     build_aggregator,
 )
-from repro.core.executor import ExecutionStrategy, make_executor
+from repro.core.executor import (
+    ExecutionStrategy,
+    SupervisionConfig,
+    make_executor,
+    supervision_knob_problem,
+)
 from repro.core.expr_eval import evaluate
 from repro.core.plan import is_aggregation_query, plan_group_query, resolve_group_aliases
 from repro.core.restriction import ChunkStatus, compile_restriction
@@ -45,6 +50,7 @@ from repro.core.result import QueryResult, ScanStats, finalize
 from repro.core.table import Table
 from repro.errors import (
     BindError,
+    ChunkUnavailableError,
     ExecutionError,
     PartitionError,
     UnsupportedQueryError,
@@ -106,6 +112,40 @@ class DataStoreOptions:
     max_workers: int | None = None
     cache_policy: str = "lru"
     cache_capacity_bytes: float = 64 * 1024 * 1024
+    # Process-supervision knobs (see core.executor.SupervisionConfig):
+    # per-task deadline, retry budget, real backoff schedule, and the
+    # cooperative-wait granularity for the process strategy.
+    task_deadline_seconds: float = 30.0
+    task_max_retries: int = 2
+    task_backoff_base_seconds: float = 0.05
+    task_backoff_multiplier: float = 2.0
+    watchdog_interval_seconds: float = 0.1
+    # Graceful degradation (the paper's partial-result contract): when
+    # True, chunks lost to worker death after the retry budget shrink
+    # row_coverage instead of failing the query; strict mode raises
+    # ChunkUnavailableError.
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        problem = supervision_knob_problem(
+            self.task_deadline_seconds,
+            self.task_max_retries,
+            self.task_backoff_base_seconds,
+            self.task_backoff_multiplier,
+            self.watchdog_interval_seconds,
+        )
+        if problem is not None:
+            raise ExecutionError(problem)
+
+    def supervision(self) -> SupervisionConfig:
+        """The executor-facing view of the supervision knobs."""
+        return SupervisionConfig(
+            task_deadline_seconds=self.task_deadline_seconds,
+            max_retries=self.task_max_retries,
+            backoff_base_seconds=self.task_backoff_base_seconds,
+            backoff_multiplier=self.task_backoff_multiplier,
+            watchdog_interval_seconds=self.watchdog_interval_seconds,
+        )
 
 
 class FieldStore:
@@ -338,7 +378,10 @@ class DataStore:
         self._arena: Any = None
         self._arena_handle: Any = None
         self.executor: ExecutionStrategy = make_executor(
-            options.executor, options.workers, options.max_workers
+            options.executor,
+            options.workers,
+            options.max_workers,
+            options.supervision(),
         )
         # Bounded, byte-weighted per-chunk result cache (Section 6).
         # get/put happen only on the merge thread (or under the lock
@@ -497,6 +540,7 @@ class DataStore:
                 self.options.executor,
                 self.options.workers,
                 self.options.max_workers,
+                self.options.supervision(),
             )
         if cache_updates:
             with self._cache_lock:
@@ -548,6 +592,7 @@ class DataStore:
             clone.options.executor,
             clone.options.workers,
             clone.options.max_workers,
+            clone.options.supervision(),
         )
         clone._cache_lock = threading.Lock()
         clone._chunk_cache = make_cache(
@@ -587,6 +632,7 @@ class DataStore:
             self.options.executor,
             self.options.workers,
             self.options.max_workers,
+            self.options.supervision(),
         )
         self._cache_lock = threading.Lock()
         self._chunk_cache = make_cache(
@@ -914,7 +960,21 @@ class DataStore:
             self.field(name).size_bytes() for name in accessed
         )
         elapsed = time.perf_counter() - started
-        return QueryResult(table=table, stats=stats, elapsed_seconds=elapsed)
+        # Exact coverage accounting for degraded results: every row the
+        # supervisor lost is counted, nothing else is estimated.
+        complete = stats.rows_unserved == 0 and stats.chunks_unserved == 0
+        coverage = (
+            (stats.rows_total - stats.rows_unserved) / stats.rows_total
+            if stats.rows_total
+            else 1.0
+        )
+        return QueryResult(
+            table=table,
+            stats=stats,
+            elapsed_seconds=elapsed,
+            complete=complete,
+            row_coverage=coverage,
+        )
 
     # -- grouped path ----------------------------------------------------------------
     def _aggregate_query(self, parsed, restriction, ensure, stats):
@@ -1002,15 +1062,46 @@ class DataStore:
         scan_one = _ChunkScanTask(
             self, group_field, aggregators, arg_fields, presence
         )
-        computed = self.executor.map_ordered(scan_one, to_scan)
+        outcome = self.executor.map_supervised(scan_one, to_scan)
+        computed = outcome.results
         stats.scan_seconds += time.perf_counter() - phase_started
+
+        # Graceful degradation (the paper's partial-result contract,
+        # applied to real worker death): chunks the supervisor could
+        # not serve after its retry budget are excluded from the merge
+        # and accounted exactly — or, in strict mode, fail the query.
+        unserved = set(outcome.unserved)
+        if unserved:
+            lost_rows = sum(
+                self.chunk_row_counts[to_scan[position][0]]
+                for position in unserved
+            )
+            if not self.options.degrade:
+                raise ChunkUnavailableError(
+                    f"{len(unserved)} chunk task(s) unserved after "
+                    f"{self.options.task_max_retries} retry wave(s); "
+                    "re-run with degrade=True to accept an incomplete "
+                    f"result missing {lost_rows} of {self.n_rows} rows"
+                )
+            stats.chunks_unserved += len(unserved)
+            stats.rows_unserved += lost_rows
+            stats.chunks_scanned -= len(unserved)
+            stats.rows_scanned -= lost_rows
+            counters.increment("datastore.scan.degraded_queries")
+            counters.increment(
+                "datastore.scan.chunks_unserved", len(unserved)
+            )
 
         # Phase 3 (merge thread): admit fresh partials to the cache and
         # fold everything in ascending chunk order — the deterministic
         # merge order that makes parallel bit-identical to serial.
         phase_started = time.perf_counter()
         evictions_before = self._chunk_cache.stats.evictions
-        for (chunk_index, __, cacheable), partials in zip(to_scan, computed):
+        for position, ((chunk_index, __, cacheable), partials) in enumerate(
+            zip(to_scan, computed)
+        ):
+            if position in unserved:
+                continue
             if cacheable:
                 with self._cache_lock:
                     self._chunk_cache.put(

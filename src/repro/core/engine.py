@@ -68,6 +68,13 @@ class ColumnarAggregator:
       execution bit-identical to serial.
     - A partial may be cached and re-applied by later queries, so
       ``apply`` must not mutate the partial either.
+    - Execution is **at-least-once**: the process supervisor re-runs a
+      chunk task whose worker died or hung mid-flight, and may run the
+      same chunk twice when a retried attempt races a straggler. The
+      purity above is what makes that safe — a ``chunk_partial`` call
+      has no effect other than its return value, so re-dispatch cannot
+      double-count; only the merge thread's single ``apply`` per chunk
+      position does.
     """
 
     def __init__(self, n_groups: int) -> None:

@@ -48,6 +48,11 @@ class ScanStats:
     chunks_cached: int = 0
     chunks_scanned: int = 0
     cells_scanned: int = 0
+    # Chunks/rows the supervised process executor abandoned after its
+    # retry budget (worker death, deadline overruns). Non-zero means
+    # the answer is partial; QueryResult.row_coverage accounts exactly.
+    chunks_unserved: int = 0
+    rows_unserved: int = 0
     fields_accessed: tuple[str, ...] = ()
     memory_bytes: int = 0
     # Per-phase wall-clock (seconds): restriction analysis + cache
@@ -84,6 +89,8 @@ class ScanStats:
             chunks_cached=self.chunks_cached + other.chunks_cached,
             chunks_scanned=self.chunks_scanned + other.chunks_scanned,
             cells_scanned=self.cells_scanned + other.cells_scanned,
+            chunks_unserved=self.chunks_unserved + other.chunks_unserved,
+            rows_unserved=self.rows_unserved + other.rows_unserved,
             fields_accessed=tuple(
                 sorted(set(self.fields_accessed) | set(other.fields_accessed))
             ),
@@ -103,9 +110,10 @@ class QueryResult:
 
     ``complete``/``row_coverage`` implement the paper's graceful
     degradation: when the distributed layer cannot reach any replica of
-    a shard it still serves the query, marked incomplete, with the
-    exact fraction of rows the answer covers. Single-node execution
-    always returns complete results (coverage 1.0).
+    a shard — or the local process supervisor abandons a chunk after
+    its retry budget — the query is still served, marked incomplete,
+    with the exact fraction of rows the answer covers. Fault-free
+    execution returns complete results (coverage 1.0).
     """
 
     table: Table

@@ -38,12 +38,17 @@ split (the Section 6 92.41% / 5.02% / 2.66% statistic).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.datastore import DataStoreOptions
-from repro.core.executor import executor_names, make_executor
+from repro.core.executor import (
+    SupervisionConfig,
+    executor_names,
+    make_executor,
+    supervision_knob_problem,
+)
 from repro.core.result import QueryResult, ScanStats
 from repro.core.table import Table
 from repro.distributed.faults import (
@@ -101,6 +106,24 @@ class ClusterConfig:
     # incomplete result (True) or raise ShardUnavailableError (False).
     faults: FaultConfig | None = None
     degrade: bool = True
+    # Supervision knobs for the *local* shard fan-out (real faults, not
+    # simulated ones): used when executor='process' loses a worker to
+    # the OS mid-sub-query. Same semantics as DataStoreOptions.
+    task_deadline_seconds: float = 30.0
+    task_max_retries: int = 2
+    task_backoff_base_seconds: float = 0.05
+    task_backoff_multiplier: float = 2.0
+    watchdog_interval_seconds: float = 0.1
+
+    def supervision(self) -> SupervisionConfig:
+        """The executor-facing view of the supervision knobs."""
+        return SupervisionConfig(
+            task_deadline_seconds=self.task_deadline_seconds,
+            max_retries=self.task_max_retries,
+            backoff_base_seconds=self.task_backoff_base_seconds,
+            backoff_multiplier=self.task_backoff_multiplier,
+            watchdog_interval_seconds=self.watchdog_interval_seconds,
+        )
 
     def __post_init__(self) -> None:
         if self.n_machines < 1:
@@ -136,6 +159,15 @@ class ClusterConfig:
                 f"straggler_slowdown must be >= 1, got "
                 f"{self.straggler_slowdown}"
             )
+        problem = supervision_knob_problem(
+            self.task_deadline_seconds,
+            self.task_max_retries,
+            self.task_backoff_base_seconds,
+            self.task_backoff_multiplier,
+            self.watchdog_interval_seconds,
+        )
+        if problem is not None:
+            raise DistributedError(problem)
 
 
 @dataclass
@@ -220,7 +252,9 @@ class SimulatedCluster:
     ) -> None:
         self.shards = shards
         self.config = config
-        self._executor = make_executor(config.executor, config.workers)
+        self._executor = make_executor(
+            config.executor, config.workers, supervision=config.supervision()
+        )
         self._fault_plan = FaultPlan(
             config.faults if config.faults is not None else NO_FAULTS,
             config.n_machines,
@@ -342,19 +376,49 @@ class SimulatedCluster:
         if self._executor.wants_picklable_tasks and len(reachable) > 1:
             for shard in reachable:
                 shard.store.ensure_arena(self._executor)
-        shard_results = dict(
-            zip(
-                (shard.shard_id for shard in reachable),
-                self._executor.map_ordered(
-                    _ShardPartialTask(parsed),
-                    reachable,
-                ),
-            )
+        # Supervised fan-out: a worker the OS kills mid-sub-query is a
+        # *real* fault folded into the same degradation machinery as
+        # the simulated ones — shards whose partial stayed unserved
+        # after the local retry budget count as unavailable.
+        fanout = self._executor.map_supervised(
+            _ShardPartialTask(parsed), reachable
         )
+        lost_positions = set(fanout.unserved)
+        lost_shard_ids = {
+            reachable[position].shard_id for position in lost_positions
+        }
+        shard_results = {
+            shard.shard_id: result
+            for position, (shard, result) in enumerate(
+                zip(reachable, fanout.results)
+            )
+            if position not in lost_positions
+        }
+        metrics.retries += fanout.retries
+        metrics.timeouts += fanout.timeouts
+        metrics.crashes += fanout.crashes
+        metrics.backoff_seconds += fanout.backoff_seconds
+        for event in fanout.events:
+            # Local supervision events index tasks; remap to the shard
+            # ids and query index this dispatch was serving.
+            shard_id = (
+                reachable[event.shard_id].shard_id
+                if 0 <= event.shard_id < len(reachable)
+                else -1
+            )
+            metrics.fault_events.append(
+                replace(event, query_index=query_index, shard_id=shard_id)
+            )
         unavailable: list[int] = []
         covered_rows = 0
         for shard in self.shards:
             metrics.sub_queries += 1
+            if shard.shard_id in lost_shard_ids:
+                # The local supervisor exhausted its retries for this
+                # shard's partial; no replica simulation can serve what
+                # was never computed.
+                unavailable.append(shard.shard_id)
+                continue
             stats_partial = shard_results.get(shard.shard_id)
             if stats_partial is None:
                 stats, partial = None, None

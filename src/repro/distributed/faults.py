@@ -23,6 +23,9 @@ runs every sub-query through:
   the dispatcher waits :func:`backoff_delay` (simulated — never a real
   ``time.sleep``; reprolint REP008 bans those) and retries against the
   surviving, non-quarantined replicas, up to ``max_retries`` waves.
+  The local process supervisor reuses the same schedule through
+  :func:`real_backoff_sleep`, the one place a genuine sleep is
+  sanctioned, because its faults are real OS events.
 - **graceful degradation**: when every replica is dead or every wave
   fails, the sub-query is reported unserved; the cluster merges
   without that shard and accounts for the missing rows.
@@ -39,6 +42,7 @@ happens on the merge thread in shard order.
 from __future__ import annotations
 
 import pickle
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -47,7 +51,12 @@ import numpy as np
 from repro.errors import DistributedError, ResponseCorruptionError
 from repro.storage.serde import crc32_tag, verify_crc32_tag
 
-#: Fault-event kinds a :class:`FaultEvent` may carry.
+#: Fault-event kinds a :class:`FaultEvent` may carry.  The first six
+#: are emitted by the simulated cluster dispatch below;
+#: ``task-unserved`` is emitted by the local process supervisor
+#: (:meth:`repro.core.executor.ProcessExecutor.map_supervised`) when a
+#: chunk task is abandoned after its retry budget — the local and
+#: distributed fault models share this one vocabulary.
 EVENT_KINDS = (
     "crash",
     "slow",
@@ -55,6 +64,7 @@ EVENT_KINDS = (
     "corrupt",
     "retry",
     "shard-unavailable",
+    "task-unserved",
 )
 
 
@@ -170,6 +180,26 @@ def backoff_delay(
             f"retry_index must be >= 0, got {retry_index}"
         )
     return base_seconds * multiplier**retry_index
+
+
+def real_backoff_sleep(
+    retry_index: int, base_seconds: float, multiplier: float
+) -> float:
+    """Sleep the exponential-backoff delay for real, and return it.
+
+    The simulated cluster only ever *accounts* for backoff on its
+    virtual clock (:func:`backoff_delay`).  Local process supervision
+    cannot: the faults it recovers from are genuine OS events — a
+    SIGKILLed worker, a wedged pool — and the respawned pool needs real
+    wall-clock headroom before the next dispatch wave.  This is the one
+    sanctioned real sleep in the tree, which is why it lives in this
+    REP008-exempt module; call it instead of ``time.sleep`` anywhere a
+    supervisor must wait out a retry.
+    """
+    delay = backoff_delay(retry_index, base_seconds, multiplier)
+    if delay > 0:
+        time.sleep(delay)
+    return delay
 
 
 class FaultPlan:

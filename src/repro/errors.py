@@ -58,6 +58,16 @@ class UnsupportedQueryError(ExecutionError):
     """The query is valid SQL but outside the supported dialect."""
 
 
+class ChunkUnavailableError(ExecutionError):
+    """A chunk task stayed unserved after the supervisor's retry budget.
+
+    The local analogue of :class:`ShardUnavailableError`: raised only in
+    strict mode (``DataStoreOptions.degrade=False``); with degradation
+    enabled the query is answered from the chunks that finished, marked
+    ``complete=False`` with exact ``row_coverage``.
+    """
+
+
 class DistributedError(ReproError):
     """The simulated cluster was misconfigured or a sub-query failed."""
 

@@ -62,6 +62,7 @@ import json
 import mmap
 import os
 import struct
+import tempfile
 import uuid
 from dataclasses import dataclass, replace
 from multiprocessing import resource_tracker, shared_memory
@@ -449,18 +450,30 @@ class ChunkArena:
         else:
             raise StorageError(f"unknown arena backing {kind!r}")
 
-        buffer = backing.buffer
-        buffer[: _PREAMBLE.size] = _PREAMBLE.pack(
-            _MAGIC, len(header_bytes), total
-        )
-        buffer[_PREAMBLE.size : _PREAMBLE.size + len(header_bytes)] = header_bytes
-        for offset, payload in payloads:
-            start = data_start + offset
-            buffer[start : start + len(payload)] = payload
-
-        arena = cls(backing, header, data_start, total)
+        completed = False
+        try:
+            buffer = backing.buffer
+            buffer[: _PREAMBLE.size] = _PREAMBLE.pack(
+                _MAGIC, len(header_bytes), total
+            )
+            buffer[_PREAMBLE.size : _PREAMBLE.size + len(header_bytes)] = (
+                header_bytes
+            )
+            for offset, payload in payloads:
+                start = data_start + offset
+                buffer[start : start + len(payload)] = payload
+            arena = cls(backing, header, data_start, total)
+            completed = True
+        finally:
+            if not completed:
+                # A build that dies mid-write must not strand the
+                # segment: reclaim it before the handle escapes (the
+                # atexit hook only knows fully built arenas).
+                backing.unlink()
+                backing.close()
         if backing.kind == "shm":
             _LIVE_ARENAS[backing.name] = arena
+            _sync_manifest()
         counters.increment("arena.builds")
         counters.increment("arena.bytes", total)
         return arena
@@ -611,6 +624,8 @@ class ChunkArena:
         """Remove the kernel object (shm owners only; mmap keeps its file)."""
         self._backing.unlink()
         _LIVE_ARENAS.pop(self._backing.name, None)
+        if self._backing.kind == "shm" and self._backing.owner:
+            _sync_manifest()
 
     def release(self) -> None:
         """Owner teardown: unlink the segment, then drop the mapping.
@@ -656,6 +671,141 @@ def live_segment_names() -> list[str]:
         for name, arena in _LIVE_ARENAS.items()
         if arena.owner_pid == os.getpid()
     )
+
+
+# -- the janitor: crash-safe segment accounting -----------------------------
+#
+# atexit and close() cover every orderly exit, but a SIGKILLed owner
+# (OOM killer, operator) runs neither, stranding its segments in
+# /dev/shm until reboot. The janitor closes that hole: every owner
+# process keeps a pidfile-tagged manifest of its live segment names on
+# disk, rewritten atomically whenever a segment is created or
+# unlinked, and sweep_orphaned_segments() reclaims the segments of any
+# manifest whose owner pid no longer exists.
+
+#: Environment override for the manifest directory (tests isolate it).
+MANIFEST_DIR_ENV = "REPRO_ARENA_MANIFEST_DIR"
+
+
+def manifest_dir() -> str:
+    """The directory holding per-pid arena manifests (created lazily)."""
+    root = os.environ.get(MANIFEST_DIR_ENV) or os.path.join(
+        tempfile.gettempdir(), "repro_arena_manifests"
+    )
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _manifest_path(pid: int) -> str:
+    return os.path.join(manifest_dir(), f"arenas_{pid}.json")
+
+
+def _sync_manifest() -> None:
+    """Rewrite this process's manifest to match its live segments.
+
+    Atomic (tmp + rename) so a crash mid-write leaves the previous
+    manifest, never a torn one; an empty manifest is removed. Manifest
+    I/O failing must never fail a query — it only degrades the
+    crash-sweep back to the pre-janitor behaviour.
+    """
+    pid = os.getpid()
+    path = _manifest_path(pid)
+    names = live_segment_names()
+    try:
+        if not names:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return
+        scratch = f"{path}.{uuid.uuid4().hex[:8]}.tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump({"pid": pid, "segments": names}, handle)
+        os.replace(scratch, path)
+    except OSError:
+        counters.increment("arena.manifest_errors")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a process that still exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # be conservative: never sweep a maybe-live owner
+    return True
+
+
+def _unlink_segment_by_name(name: str) -> bool:
+    """Unlink one shm segment by name; True when it existed.
+
+    Attaches with resource-tracker registration suppressed (same 3.11
+    wart as :meth:`_ShmBacking.attach`) purely to reach ``unlink``.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = _ignore_tracker_registration
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    finally:
+        resource_tracker.register = original_register
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def sweep_orphaned_segments() -> list[str]:
+    """Reclaim segments whose owner process is gone; returns their names.
+
+    Scans every manifest in :func:`manifest_dir`; a manifest whose pid
+    is dead has its listed ``repro_arena_*`` segments unlinked and the
+    manifest removed. Live owners (including this process) are left
+    alone. Safe to run concurrently: already-gone segments and
+    manifests are tolerated.
+    """
+    reclaimed: list[str] = []
+    try:
+        entries = os.listdir(manifest_dir())
+    except OSError:
+        return reclaimed
+    for entry in entries:
+        if not (entry.startswith("arenas_") and entry.endswith(".json")):
+            continue
+        try:
+            pid = int(entry[len("arenas_") : -len(".json")])
+        except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(manifest_dir(), entry)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            segments = list(manifest.get("segments", []))
+        except (OSError, ValueError):
+            segments = []  # torn/corrupt manifest: still remove it
+        for name in segments:
+            if not isinstance(name, str) or not name.startswith(
+                SEGMENT_PREFIX
+            ):
+                continue  # never unlink a segment we did not create
+            if _unlink_segment_by_name(name):
+                reclaimed.append(name)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    counters.increment("arena.janitor_sweeps")
+    if reclaimed:
+        counters.increment("arena.segments_reclaimed", len(reclaimed))
+    return sorted(reclaimed)
 
 
 def attach_store(handle: ArenaHandle) -> DataStore:

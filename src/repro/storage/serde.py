@@ -275,6 +275,12 @@ def options_to_dict(options: DataStoreOptions) -> dict:
         "max_workers": options.max_workers,
         "cache_policy": options.cache_policy,
         "cache_capacity_bytes": options.cache_capacity_bytes,
+        "task_deadline_seconds": options.task_deadline_seconds,
+        "task_max_retries": options.task_max_retries,
+        "task_backoff_base_seconds": options.task_backoff_base_seconds,
+        "task_backoff_multiplier": options.task_backoff_multiplier,
+        "watchdog_interval_seconds": options.watchdog_interval_seconds,
+        "degrade": options.degrade,
     }
 
 
@@ -297,6 +303,18 @@ def options_from_dict(raw_options: dict) -> DataStoreOptions:
         cache_capacity_bytes=raw_options.get(
             "cache_capacity_bytes", 64 * 1024 * 1024
         ),
+        task_deadline_seconds=raw_options.get("task_deadline_seconds", 30.0),
+        task_max_retries=raw_options.get("task_max_retries", 2),
+        task_backoff_base_seconds=raw_options.get(
+            "task_backoff_base_seconds", 0.05
+        ),
+        task_backoff_multiplier=raw_options.get(
+            "task_backoff_multiplier", 2.0
+        ),
+        watchdog_interval_seconds=raw_options.get(
+            "watchdog_interval_seconds", 0.1
+        ),
+        degrade=raw_options.get("degrade", True),
     )
 
 

@@ -391,6 +391,26 @@ class SanitizingExecutor(ExecutionStrategy):
         fn: Callable[[Any], Any],
         items: Sequence[Any],
     ) -> list[Any]:
+        return self._checked_fanout(
+            fn, lambda: self.inner.map_ordered(fn, items), "map_ordered"
+        )
+
+    def map_supervised(self, fn: Callable[[Any], Any], items: Sequence[Any]):
+        """Supervised fan-out under the same mutation watch.
+
+        Forwarded (not re-derived from ``map_ordered``) so the wrapped
+        strategy's real recovery/degradation path is what runs — and is
+        itself certified not to mutate captured state.
+        """
+        return self._checked_fanout(
+            fn,
+            lambda: self.inner.map_supervised(fn, items),
+            "map_supervised",
+        )
+
+    def _checked_fanout(
+        self, fn: Callable[[Any], Any], fanout: Callable[[], Any], label: str
+    ) -> Any:
         captured = captured_objects(fn)
         for index, arena in enumerate(self._tracked_arenas):
             # Arena bytes are shared with every worker; any write there
@@ -400,7 +420,7 @@ class SanitizingExecutor(ExecutionStrategy):
             name: state_fingerprint(value)
             for name, value in captured.items()
         }
-        results = self.inner.map_ordered(fn, items)
+        results = fanout()
         mutated: list[str] = []
         for name, value in captured.items():
             after = state_fingerprint(value)
@@ -408,11 +428,11 @@ class SanitizingExecutor(ExecutionStrategy):
         self.checked_submissions += 1
         self.checked_captures += len(captured)
         if mutated:
-            label = getattr(fn, "__name__", type(fn).__name__)
+            fn_label = getattr(fn, "__name__", type(fn).__name__)
             # Test infrastructure raises AssertionError so pytest
             # renders the failure as an assertion, not a library error.
             raise CapturedStateMutation(  # reprolint: disable=REP001 -- test assertion
-                f"captured state mutated during map_ordered({label}): "
+                f"captured state mutated during {label}({fn_label}): "
                 + ", ".join(sorted(set(mutated)))
             )
         return results

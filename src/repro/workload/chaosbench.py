@@ -18,6 +18,15 @@ The correctness gate rides along: every **complete** result is compared
 row-for-row against a fault-free reference cluster. Fault injection may
 cost latency and coverage, but it must never silently change an answer
 the system claims is complete.
+
+PR 8 adds the *local* counterpart at the bottom of this module:
+:func:`run_process_chaos_bench` drives the same query mix through a
+process-executor store under **real** worker faults (SIGKILL,
+``os._exit``, genuine hangs, injected by
+:mod:`repro.testing.process_chaos`) and reports recovery latency,
+coverage exactness and shared-memory hygiene per scenario. It backs
+``repro chaos --local`` and ``benchmarks/bench_process_chaos.py``
+(``BENCH_PR8.json``).
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import Any
 from repro.core.datastore import DataStoreOptions
 from repro.distributed.cluster import ClusterConfig, SimulatedCluster
 from repro.distributed.faults import FaultConfig
+from repro.errors import ExecutionError
 from repro.monitoring import percentile
 from repro.workload.generator import LogsConfig, generate_query_logs
 
@@ -222,4 +232,254 @@ def render_chaos_report(report: dict[str, Any]) -> list[str]:
         "complete results == fault-free reference: "
         + ("yes" if all_match else "NO — BUG")
     )
+    return lines
+
+
+# --------------------------------------------------------------------
+# The local process-chaos bench (PR 8): real worker faults, one box.
+# --------------------------------------------------------------------
+
+#: Scenario name → the ChaosPlan shape it drives. ``none`` is the
+#: baseline every other scenario's recovery overhead is measured
+#: against; the three transient scenarios must recover bit-identically;
+#: ``kill-persistent`` must degrade to exactly one lost chunk.
+PROCESS_CHAOS_SCENARIOS = (
+    "none",
+    "kill",
+    "exit",
+    "hang",
+    "kill-persistent",
+)
+
+
+@dataclass(frozen=True)
+class ProcessChaosBenchConfig:
+    """Knobs for one local (process-executor) chaos run."""
+
+    rows: int = 4_000
+    workers: int = 2
+    queries_per_scenario: int = 3
+    deadline_seconds: float = 0.75
+    max_retries: int = 2
+    backoff_base_seconds: float = 0.02
+    fault_seed: int = 0
+    seed: int = 2012
+
+
+def _process_store_options(
+    config: ProcessChaosBenchConfig, executor: str
+) -> DataStoreOptions:
+    return DataStoreOptions(
+        partition_fields=("country", "table_name"),
+        max_chunk_rows=max(64, config.rows // 24),
+        cache_chunk_results=False,  # no cache: every query really scans
+        executor=executor,
+        workers=config.workers if executor == "process" else None,
+        task_deadline_seconds=config.deadline_seconds,
+        task_max_retries=config.max_retries,
+        task_backoff_base_seconds=config.backoff_base_seconds,
+    )
+
+
+def _scenario_plan(name, n_chunks, config):
+    """The ChaosPlan for one named scenario over ``n_chunks`` chunk keys."""
+    from repro.testing.process_chaos import ChaosPlan
+
+    target = n_chunks // 3  # a mid-batch chunk, stable per corpus
+    if name == "none":
+        return ChaosPlan()
+    if name == "kill":
+        return ChaosPlan.seeded(
+            config.fault_seed, range(n_chunks), kill_rate=0.15
+        )
+    if name == "exit":
+        return ChaosPlan.seeded(
+            config.fault_seed, range(n_chunks), exit_rate=0.15
+        )
+    if name == "hang":
+        return ChaosPlan(
+            faults=((target, "hang"),),
+            hang_seconds=max(10.0, 20 * config.deadline_seconds),
+        )
+    if name == "kill-persistent":
+        return ChaosPlan(faults=((target, "kill"),), persistent=(target,))
+    raise ExecutionError(
+        f"unknown process-chaos scenario {name!r}; "
+        f"choose from {PROCESS_CHAOS_SCENARIOS}"
+    )
+
+
+def run_process_chaos_bench(
+    config: ProcessChaosBenchConfig | None = None,
+) -> dict[str, Any]:
+    """Run every scenario; returns the JSON-ready trajectory point.
+
+    Per scenario: the chaos query mix runs through a process-executor
+    store whose every submission is wrapped by
+    :class:`repro.testing.process_chaos.ChaosExecutor` (fresh sentinel
+    directory per query, so each query re-experiences its transient
+    faults). Complete results are compared row-for-row against a serial
+    fault-free reference; incomplete results must carry *exact*
+    coverage accounting; the executor must leave zero live
+    shared-memory segments behind after close.
+    """
+    import tempfile
+    import time
+
+    from repro.core.datastore import DataStore
+    from repro.storage.arena import live_segment_names, sweep_orphaned_segments
+    from repro.testing.process_chaos import ChaosExecutor
+
+    config = config or ProcessChaosBenchConfig()
+    table = generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 400)),
+            n_teams=min(40, max(8, config.rows // 300)),
+            seed=config.seed,
+        )
+    )
+    queries = [
+        CHAOS_QUERIES[i % len(CHAOS_QUERIES)]
+        for i in range(config.queries_per_scenario)
+    ]
+
+    reference_store = DataStore.from_table(
+        table, _process_store_options(config, "serial")
+    )
+    expected = [reference_store.execute(sql).sorted_rows() for sql in queries]
+    rows_total = reference_store.n_rows
+
+    scenarios: list[dict[str, Any]] = []
+    baseline_mean_ms: float | None = None
+    for name in PROCESS_CHAOS_SCENARIOS:
+        store = DataStore.from_table(
+            table, _process_store_options(config, "process")
+        )
+        inner = store.executor
+        plan = _scenario_plan(name, len(store.chunk_row_counts), config)
+        complete_queries = 0
+        complete_mismatches = 0
+        inexact_coverage = 0
+        coverages: list[float] = []
+        latencies: list[float] = []
+        totals = {
+            "respawns": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "unserved_tasks": 0,
+            "backoff_seconds": 0.0,
+        }
+        for index, sql in enumerate(queries):
+            with tempfile.TemporaryDirectory() as flag_dir:
+                store.executor = ChaosExecutor(inner, plan, flag_dir)
+                start = time.monotonic()
+                result = store.execute(sql)
+                latencies.append(time.monotonic() - start)
+            outcome = store.executor.last_outcome
+            if outcome is not None:
+                totals["respawns"] += outcome.respawns
+                totals["retries"] += outcome.retries
+                totals["timeouts"] += outcome.timeouts
+                totals["crashes"] += outcome.crashes
+                totals["unserved_tasks"] += len(outcome.unserved)
+                totals["backoff_seconds"] += outcome.backoff_seconds
+            coverages.append(result.row_coverage)
+            exact = (
+                result.row_coverage
+                == (rows_total - result.stats.rows_unserved) / rows_total
+            )
+            if not exact:
+                inexact_coverage += 1
+            if result.complete:
+                complete_queries += 1
+                if result.sorted_rows() != expected[index]:
+                    complete_mismatches += 1
+        store.executor = inner
+        store.executor.close()
+        leaked = list(live_segment_names())
+        ordered = sorted(latencies)
+        mean_ms = 1000 * sum(latencies) / len(latencies)
+        if name == "none":
+            baseline_mean_ms = mean_ms
+        scenarios.append(
+            {
+                "scenario": name,
+                "queries": len(queries),
+                "availability": complete_queries / len(queries),
+                "mean_row_coverage": sum(coverages) / len(coverages),
+                "min_row_coverage": min(coverages),
+                "coverage_accounting_exact": inexact_coverage == 0,
+                "complete_results_match_reference": complete_mismatches == 0,
+                "latency_mean_ms": mean_ms,
+                "latency_max_ms": 1000 * ordered[-1],
+                "recovery_overhead_ms": (
+                    mean_ms - baseline_mean_ms
+                    if baseline_mean_ms is not None
+                    else 0.0
+                ),
+                "leaked_segments": leaked,
+                **totals,
+            }
+        )
+    return {
+        "bench": "process_chaos",
+        "rows": config.rows,
+        "workers": config.workers,
+        "deadline_seconds": config.deadline_seconds,
+        "max_retries": config.max_retries,
+        "backoff_base_seconds": config.backoff_base_seconds,
+        "fault_seed": config.fault_seed,
+        "queries": list(CHAOS_QUERIES),
+        "scenarios": scenarios,
+        "orphans_reclaimed": sweep_orphaned_segments(),
+    }
+
+
+def render_process_chaos_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary for a :func:`run_process_chaos_bench` run."""
+    lines = [
+        f"process-chaos bench — {report['rows']} rows, "
+        f"{report['workers']} workers, deadline "
+        f"{1000 * report['deadline_seconds']:.0f} ms, "
+        f"{report['max_retries']} retry wave(s), fault seed "
+        f"{report['fault_seed']}",
+        "",
+        "scenario         avail   coverage   mean ms   overhead ms  "
+        "respawn  retry  unserved",
+    ]
+    for point in report["scenarios"]:
+        lines.append(
+            f"{point['scenario']:15s}  {point['availability']:5.0%}  "
+            f"{point['mean_row_coverage']:8.1%}  "
+            f"{point['latency_mean_ms']:8.1f}  "
+            f"{point['recovery_overhead_ms']:11.1f}  "
+            f"{point['respawns']:7d}  {point['retries']:5d}  "
+            f"{point['unserved_tasks']:8d}"
+        )
+    all_match = all(
+        point["complete_results_match_reference"]
+        for point in report["scenarios"]
+    )
+    all_exact = all(
+        point["coverage_accounting_exact"] for point in report["scenarios"]
+    )
+    no_leaks = all(not point["leaked_segments"] for point in report["scenarios"])
+    lines.append("")
+    lines.append(
+        "complete results == fault-free reference: "
+        + ("yes" if all_match else "NO — BUG")
+    )
+    lines.append(
+        "incomplete coverage accounting exact: "
+        + ("yes" if all_exact else "NO — BUG")
+    )
+    lines.append(
+        "shared-memory segments leaked: " + ("none" if no_leaks else "YES — BUG")
+    )
+    if report["orphans_reclaimed"]:
+        lines.append(
+            f"janitor reclaimed orphans: {report['orphans_reclaimed']}"
+        )
     return lines

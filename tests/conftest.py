@@ -2,13 +2,44 @@
 
 from __future__ import annotations
 
+import glob
+import os
+
 import pytest
 
 from repro.core.datastore import DataStore, DataStoreOptions
 from repro.core.table import Table
+from repro.storage.arena import SEGMENT_PREFIX, live_segment_names
 from repro.workload.generator import LogsConfig, generate_query_logs
 
 SMALL_ROWS = 4_000
+
+
+def _shm_segments() -> set[str]:
+    """Names of this prefix's shared-memory segments currently on disk."""
+    pattern = os.path.join("/dev/shm", SEGMENT_PREFIX + "*")
+    return {os.path.basename(path) for path in glob.glob(pattern)}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_arena_segments():
+    """Session gate: the suite must not leak shared-memory segments.
+
+    Any ``repro_arena_*`` segment that appears during the run and is
+    neither tracked by a live in-process arena (module-level stores
+    release theirs at atexit, after this fixture) nor gone by teardown
+    was leaked by an executor — the exact failure mode the PR 8
+    supervision layer exists to prevent, even across SIGKILLed workers.
+    """
+    if not os.path.isdir("/dev/shm"):
+        yield  # non-Linux: no observable segment directory to audit
+        return
+    baseline = _shm_segments()
+    yield
+    leaked = (_shm_segments() - baseline) - set(live_segment_names())
+    assert not leaked, (
+        f"test run leaked shared-memory segments: {sorted(leaked)}"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -39,6 +39,14 @@ def test_gate_includes_concurrency_rules():
     assert set(_CONCURRENCY_RULES) <= registered
 
 
+def test_gate_includes_bounded_wait_rule():
+    # REP017 keeps core/executor.py free of unbounded .result()/.join()
+    # waits — the supervision deadline is only real while this rule is
+    # registered, so pin it like the concurrency rules above.
+    registered = {rule.code for rule in all_rules()}
+    assert "REP017" in registered
+
+
 def test_concurrency_rules_clean_standalone():
     # Also run the process-parallel certification on its own: a
     # selective run exercises the ProjectRule path (call-graph build,

@@ -1005,6 +1005,89 @@ class TestFingerprints:
         assert len(finding["fingerprint"]) == 12
 
 
+class TestUnboundedFutureWait:
+    # REP017 is scoped to core/executor.py — the snippets must carry
+    # that basename for the only_files match to apply.
+
+    def test_bare_result_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def collect(future):
+                return future.result()
+            """,
+            rel_path="core/executor.py",
+            select=["REP017"],
+        )
+        assert report.codes() == {"REP017"}
+        assert ".result()" in report.findings[0].message
+
+    def test_bare_join_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drain(worker):
+                worker.join()
+            """,
+            rel_path="core/executor.py",
+            select=["REP017"],
+        )
+        assert report.codes() == {"REP017"}
+        assert ".join()" in report.findings[0].message
+
+    def test_bounded_waits_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def collect(future, worker, deadline):
+                worker.join(timeout=deadline)
+                worker.join(deadline)
+                return future.result(timeout=deadline)
+            """,
+            rel_path="core/executor.py",
+            select=["REP017"],
+        )
+        assert report.ok
+
+    def test_str_join_never_matches(self, tmp_path):
+        # str.join always takes its iterable argument, so the
+        # zero-argument pattern cannot catch it.
+        report = lint_snippet(
+            tmp_path,
+            """
+            def describe(parts):
+                return ", ".join(parts)
+            """,
+            rel_path="core/executor.py",
+            select=["REP017"],
+        )
+        assert report.ok
+
+    def test_other_modules_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def collect(future):
+                return future.result()
+            """,
+            rel_path="distributed/cluster.py",
+            select=["REP017"],
+        )
+        assert report.ok
+
+    def test_suppression_with_reason_honoured(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def collect(future):
+                return future.result()  # reprolint: disable=REP017 -- thread workers cannot be killed
+            """,
+            rel_path="core/executor.py",
+            select=["REP017"],
+        )
+        assert report.ok
+
+
 class TestCatalogConsistency:
     def test_every_rule_has_a_catalog_entry(self):
         from repro.analysis.catalog import LINT_CATALOG

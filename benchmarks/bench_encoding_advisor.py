@@ -1,0 +1,69 @@
+"""Encoding advisor vs static codec (PR 9).
+
+Not a paper table — a point on the repo's own perf trajectory:
+`BENCH_PR9.json` records, per field, the size and decode-throughput of
+the advisor's per-column codec choice against the historical
+one-codec-for-everything baseline, plus the geometric mean of the
+size x decode-throughput product the advisor's cost model optimizes.
+
+What is asserted unconditionally (correctness, not speed):
+
+- every field section round-trips byte-exactly under both the static
+  and the advisor-chosen codec;
+- the two stores' field sections are byte-identical (the codec choice
+  must not change the encoded data, only how it is wrapped at rest);
+- the advisor store passes fsck clean (including the FSCK012
+  codec-choice checks) and survives a save/load cycle with its codec
+  choices and section bytes intact.
+
+The ≥1.15x size x decode geomean criterion is gated on scale like the
+other trajectory benches: on toy inputs constant factors dominate the
+throughput measurements; the measured numbers are recorded in the JSON
+either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import RESULTS_DIR, emit_report
+from repro.workload.benchadvisor import (
+    AdvisorBenchConfig,
+    render_advisor_report,
+    run_advisor_bench,
+)
+
+#: The acceptance run uses 200k rows; scale down only explicitly.
+ADVISOR_ROWS = int(os.environ.get("REPRO_BENCH_ADVISOR_ROWS", "200000"))
+
+
+def test_encoding_advisor_trajectory():
+    config = AdvisorBenchConfig(rows=ADVISOR_ROWS, repeats=3)
+    report = run_advisor_bench(config)
+
+    emit_report("encoding_advisor", render_advisor_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR9.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Correctness gates — these hold on any machine at any scale.
+    assert report["fields"], "no non-virtual fields measured"
+    for name, entry in report["fields"].items():
+        assert entry["sections_identical"], name
+        assert entry["static"]["encoded_bytes"] > 0, name
+        assert entry["advisor"]["encoded_bytes"] > 0, name
+        assert entry["choice"], name  # the advisor recorded a choice
+    assert report["fsck_clean"], report["fsck_findings"]
+    save_load = report["save_load"]
+    assert save_load["rows_match"]
+    assert save_load["codecs_match"]
+    assert save_load["sections_match"]
+
+    # Perf gate — needs enough data for throughput to be meaningful.
+    if config.rows >= 200_000:
+        assert report["size_decode_geomean"] >= 1.15, (
+            report["size_decode_geomean"]
+        )

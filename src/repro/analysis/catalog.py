@@ -176,6 +176,18 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "supervisor forever — the exact failure the supervision layer "
         "exists to survive",
     ),
+    CatalogEntry(
+        "REP018",
+        "hardcoded-codec-name",
+        "no codec-name string literals in codec-selecting positions "
+        "(registry calls, codec= keywords, codec-named assignments or "
+        "comparisons) outside compress/registry.py, "
+        "compress/advisor.py and declared defaults (parameter defaults, "
+        "module-level ALL_CAPS constants)",
+        "the encoding advisor owns codec choice; a codec name inlined "
+        "at a call site silently pins a layout decision the advisor "
+        "can no longer revisit, and renaming a codec breaks it",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (
@@ -261,6 +273,15 @@ FSCK_CATALOG: tuple[CatalogEntry, ...] = (
         "misaligned spans",
         "process workers answer queries from arena views; a divergent "
         "arena silently returns wrong results in parallel only",
+    ),
+    CatalogEntry(
+        "FSCK012",
+        "codec-choice-invalid",
+        "every advisor-recorded field codec resolves in the registry "
+        "and round-trips that field's serialized section byte-exactly",
+        "save_store compresses field sections with the recorded codec; "
+        "a stale name or lossy pipeline makes the saved store "
+        "unreadable or silently wrong on reload",
     ),
 )
 

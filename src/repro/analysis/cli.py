@@ -56,6 +56,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return _emit(report, fmt)
 
 
+def _print_codec_choices(path: str) -> None:
+    """Best-effort advisor-choice listing for the text fsck report."""
+    from repro.storage.serde import load_store
+
+    try:
+        store = load_store(path)
+    except ReproError:
+        return  # the findings report already covers unreadable stores
+    lines = []
+    for name, field in sorted(store.fields.items()):
+        if field.virtual or field.codec is None:
+            continue
+        choice = field.codec_choice or {}
+        ratio = choice.get("actual_ratio")
+        detail = (
+            f" (ratio {ratio:.2f}, {choice.get('mode', '?')} mode)"
+            if isinstance(ratio, (int, float))
+            else ""
+        )
+        lines.append(f"  {name}: {field.codec}{detail}")
+    if lines:
+        print("advisor codec choices:")
+        print("\n".join(lines))
+
+
 def cmd_fsck(args: argparse.Namespace) -> int:
     if args.list_checks:
         print(render_catalog(FSCK_CATALOG))
@@ -63,7 +88,10 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     if args.store is None:
         raise ReproError("fsck needs a store file (or --list-checks)")
     report = fsck_file(args.store, check_serde=not args.no_serde)
-    return _emit(report, args.format)
+    status = _emit(report, args.format)
+    if args.format == "text":
+        _print_codec_choices(args.store)
+    return status
 
 
 def configure_lint_parser(parser: argparse.ArgumentParser) -> None:

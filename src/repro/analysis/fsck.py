@@ -6,7 +6,9 @@ on: global dictionaries are sorted bijections, chunk-dictionaries are
 sorted subsets of the global dictionary, elements index into their
 chunk-dictionary, chunk value bounds reflect actual contents,
 partition code ranges do not overlap across chunks, row counts agree
-everywhere, and every chunk round-trips through the serde layer.
+everywhere, every chunk round-trips through the serde layer, and any
+advisor-recorded codec resolves in the registry and round-trips its
+field's serialized section byte-exactly.
 
 Every violated invariant becomes a :class:`~repro.analysis.findings.
 Finding` with a stable ``FSCK0xx`` code (see
@@ -326,6 +328,61 @@ def _check_serde_chunk(
         )
 
 
+# -- advisor codec round-trip -----------------------------------------------
+
+
+def _check_field_codec(
+    report: FindingsReport, field: FieldStore, check_serde: bool
+) -> None:
+    """Advisor-codec invariant (FSCK012).
+
+    A field that records an advisor-chosen codec must (a) name a codec
+    that resolves in the registry, and (b) — when serde checks are on —
+    round-trip its serialized section through that codec byte-exactly.
+    A stale or bogus name would make the saved store unreadable, so
+    fsck catches it while the store is still in memory.
+    """
+    from repro.compress.registry import get_codec
+
+    if field.codec is None:
+        return
+    where = f"field {field.name!r} codec"
+    _check(report, "codec-resolves")
+    try:
+        codec = get_codec(field.codec)
+    except ReproError as error:
+        _finding(
+            report,
+            "FSCK012",
+            f"recorded codec {field.codec!r} does not resolve: {error}",
+            where,
+        )
+        return
+    if not check_serde:
+        return
+    _check(report, "codec-round-trip")
+    try:
+        section = serde.encode_field_section(field)
+        decoded = codec.decompress(codec.compress(section))
+    except ReproError as error:
+        _finding(
+            report,
+            "FSCK012",
+            f"codec {field.codec!r} failed on this field's section: {error}",
+            where,
+        )
+        return
+    if decoded != section:
+        _finding(
+            report,
+            "FSCK012",
+            f"codec {field.codec!r} does not round-trip this field's "
+            f"section byte-exactly ({len(section)} bytes in, "
+            f"{len(decoded)} bytes back)",
+            where,
+        )
+
+
 # -- arena round-trip -------------------------------------------------------
 
 
@@ -401,6 +458,8 @@ def fsck_store(store: DataStore, check_serde: bool = True) -> FindingsReport:
                 _check_serde_chunk(report, field, chunk_index, chunk)
         if check_serde and not field.virtual:
             _check_serde_dictionary(report, field)
+        if not field.virtual:
+            _check_field_codec(report, field, check_serde)
 
     _check_partition_codes(report, store)
     if check_serde:

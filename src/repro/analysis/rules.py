@@ -1,4 +1,4 @@
-"""The built-in reprolint rules (REP001 — REP017).
+"""The built-in reprolint rules (REP001 — REP018).
 
 Each rule encodes one repo convention that keeps the storage layer's
 invariants enforceable:
@@ -76,6 +76,14 @@ definitions, buffer taint — instead of per-node patterns:
   a timeout, so no wait can outlive the supervision deadline — an
   unbounded wait on a dead or hung worker is exactly the wedge the
   supervisor exists to survive.
+
+- REP018 — codec choice belongs to the encoding advisor: no registered
+  codec-name string literal may appear in a codec-selecting position
+  (registry-call arguments, ``codec=`` keywords, assignments to or
+  comparisons with ``codec``-named bindings) outside
+  ``compress/registry.py``, ``compress/advisor.py`` and *declared
+  defaults* — function parameter defaults and module-level ALL_CAPS
+  constants, which are the sanctioned way to name a static fallback.
 """
 
 from __future__ import annotations
@@ -109,6 +117,7 @@ CODEC_MODULES = {
     "repro.compress.lzo_like",
     "repro.compress.huffman",
     "repro.compress.rle",
+    "repro.compress.transforms",
 }
 
 #: The codec entry-point functions covered by the registry.
@@ -121,6 +130,12 @@ CODEC_FUNCTIONS = {
     "huffman_decompress",
     "rle_encode_bytes",
     "rle_decode_bytes",
+    "delta_encode_bytes",
+    "delta_decode_bytes",
+    "wordpack_encode_bytes",
+    "wordpack_decode_bytes",
+    "bytedict_encode_bytes",
+    "bytedict_decode_bytes",
 }
 
 
@@ -1373,3 +1388,168 @@ class UnboundedFutureWaitRule(LintRule):
                         "hung worker cannot wedge the supervisor"
                     ),
                 )
+
+
+def _registered_codec_names() -> frozenset[str]:
+    """The live registry's codec names (imported lazily: the registry
+    pulls in numpy-heavy codec modules the other rules never need)."""
+    from repro.compress.registry import available_codecs
+
+    return frozenset(available_codecs())
+
+
+@lint_rule
+class HardcodedCodecNameRule(LintRule):
+    """REP018: codec choice belongs to the encoding advisor.
+
+    A registered codec name inlined at a call site pins a layout
+    decision the advisor can no longer revisit — and silently breaks
+    if the codec is renamed. The rule flags string literals matching a
+    registered codec name whenever they sit in a *codec-selecting
+    position*: a positional argument to a registry entry point
+    (``get_codec``, ``compress``, ``decompress``, ...), any ``codec``
+    keyword, an assignment to a ``codec``-named binding, or a
+    comparison against one. Two kinds of *declared defaults* are
+    sanctioned and exempt: function parameter defaults (the documented
+    static fallback of ``write_columnio``/``HybridLayerStore``) and
+    module-level ALL_CAPS constants (a bench's pinned baseline).
+    ``compress/registry.py`` and ``compress/advisor.py`` — the two
+    modules whose job *is* naming codecs — are exempt wholesale.
+    """
+
+    code = "REP018"
+    name = "hardcoded-codec-name"
+    description = (
+        "registered codec-name string literal in a codec-selecting "
+        "position; route the choice through the encoding advisor, a "
+        "parameter default, or a module-level ALL_CAPS constant"
+    )
+    default_severity = Severity.ERROR
+    exempt_files = ("compress/registry.py", "compress/advisor.py")
+
+    #: Registry entry points whose positional string args select codecs.
+    _REGISTRY_CALLS = {
+        "get_codec",
+        "compress",
+        "decompress",
+        "compression_stats",
+        "register_cascade",
+        "cascade_stages",
+    }
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _declared_default_nodes(tree: ast.Module) -> set[int]:
+        """Node ids inside sanctioned declared-default expressions."""
+        exempt: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                for default in [
+                    *node.args.defaults,
+                    *node.args.kw_defaults,
+                ]:
+                    if default is not None:
+                        exempt.update(id(sub) for sub in ast.walk(default))
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if (
+                value is not None
+                and names
+                and len(names) == len(targets)
+                and all(name == name.upper() for name in names)
+            ):
+                exempt.update(id(sub) for sub in ast.walk(value))
+        return exempt
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        watched = _registered_codec_names()
+
+        def is_watched(node: ast.expr) -> bool:
+            return (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in watched
+            )
+
+        def finding(node: ast.expr, context: str) -> RawFinding:
+            return RawFinding(
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"hardcoded codec name {node.value!r} {context}; "
+                    "let the encoding advisor choose, or declare it as "
+                    "a parameter default / module-level ALL_CAPS "
+                    "constant"
+                ),
+            )
+
+        exempt = self._declared_default_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func_name = self._terminal_name(node.func)
+                if func_name in self._REGISTRY_CALLS:
+                    for arg in node.args:
+                        if is_watched(arg) and id(arg) not in exempt:
+                            yield finding(
+                                arg, f"passed to {func_name}()"
+                            )
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg is not None
+                        and "codec" in keyword.arg.lower()
+                        and is_watched(keyword.value)
+                        and id(keyword.value) not in exempt
+                    ):
+                        yield finding(
+                            keyword.value, f"as keyword {keyword.arg}="
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if value is None or not is_watched(value):
+                    continue
+                if id(value) in exempt:
+                    continue
+                for target in targets:
+                    target_name = self._terminal_name(target)
+                    if target_name and "codec" in target_name.lower():
+                        yield finding(
+                            value, f"assigned to {target_name}"
+                        )
+                        break
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                codec_named = any(
+                    (name := self._terminal_name(side)) is not None
+                    and "codec" in name.lower()
+                    for side in sides
+                )
+                if not codec_named:
+                    continue
+                for side in sides:
+                    if is_watched(side) and id(side) not in exempt:
+                        yield finding(
+                            side, "compared against a codec binding"
+                        )
+                        break

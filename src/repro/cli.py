@@ -3,6 +3,8 @@
 Usage (also via ``python -m repro``):
 
     python -m repro import logs.csv store.pds --partition country,table_name
+    python -m repro import logs.csv store.pds --codec auto
+    python -m repro describe store.pds
     python -m repro query store.pds "SELECT country, COUNT(*) c FROM data \
         GROUP BY country ORDER BY c DESC LIMIT 5"
     python -m repro repl store.pds
@@ -106,6 +108,7 @@ def cmd_import(args: argparse.Namespace) -> int:
         partition_fields=partition,
         max_chunk_rows=args.chunk_rows,
         reorder_rows=bool(partition) and not args.no_reorder,
+        codec=args.codec,
     )
     started = time.perf_counter()
     store = DataStore.from_table(table, options)
@@ -127,6 +130,15 @@ def cmd_import(args: argparse.Namespace) -> int:
             f"dictionaries {stats.dictionary_bytes / 1024:.0f} KB, "
             f"chunks {stats.chunk_bytes / 1024:.0f} KB"
         )
+        if stats.field_codecs:
+            print("advisor codec choices:")
+            for name, record in sorted(stats.field_codecs.items()):
+                print(
+                    f"  {name:<16} {record['codec']:<16} "
+                    f"predicted ratio {record['predicted_ratio']:.2f} "
+                    f"({record['mode']} mode, "
+                    f"{record['sample_bytes']} sample bytes)"
+                )
     return 0
 
 
@@ -220,8 +232,7 @@ def cmd_repl(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_info(args: argparse.Namespace) -> int:
-    store = load_store(args.store)
+def _print_store_info(store: DataStore) -> None:
     print(f"table: {store.options.table_name}")
     print(f"rows:  {store.n_rows} in {store.n_chunks} chunks")
     print(f"partition fields: {store.options.partition_fields}")
@@ -239,6 +250,43 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"{field.elements_size_bytes() / 1024:>12.1f}"
         )
     print(f"total encoded: {store.total_size_bytes() / 1024:.0f} KB")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    store = load_store(args.store)
+    _print_store_info(store)
+    return 0
+
+
+def _fmt_ratio(value) -> str:
+    return f"{value:.2f}" if isinstance(value, (int, float)) else "-"
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    store = load_store(args.store)
+    _print_store_info(store)
+    print()
+    encoded = [
+        (name, field)
+        for name, field in sorted(store.fields.items())
+        if not field.virtual and field.codec is not None
+    ]
+    if not encoded:
+        print("no per-column codec choices recorded")
+        return 0
+    print(
+        f"{'field':<16} {'codec':<18} {'predicted':>9} {'actual':>8} "
+        f"{'sample B':>9} {'mode':>6}"
+    )
+    for name, field in encoded:
+        choice = field.codec_choice or {}
+        print(
+            f"{name:<16} {field.codec:<18} "
+            f"{_fmt_ratio(choice.get('predicted_ratio')):>9} "
+            f"{_fmt_ratio(choice.get('actual_ratio')):>8} "
+            f"{choice.get('sample_bytes', 0):>9} "
+            f"{choice.get('mode', '?'):>6}"
+        )
     return 0
 
 
@@ -341,6 +389,26 @@ def cmd_bench_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_advisor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.benchadvisor import (
+        AdvisorBenchConfig,
+        render_advisor_report,
+        run_advisor_bench,
+    )
+
+    config = AdvisorBenchConfig(rows=args.rows, repeats=args.repeats)
+    report = run_advisor_bench(config)
+    print("\n".join(render_advisor_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -410,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_import.add_argument(
         "--no-reorder", action="store_true", help="skip the lexicographic reorder"
     )
+    p_import.add_argument(
+        "--codec",
+        default=None,
+        help="compress each field's serialized section with this registry "
+        "codec, or 'auto' to let the encoding advisor pick one per "
+        "column (default: uncompressed sections)",
+    )
     p_import.set_defaults(func=cmd_import)
 
     p_query = sub.add_parser("query", help="run one SQL query against a store")
@@ -427,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="describe a store file")
     p_info.add_argument("store", help="store file (.pds)")
     p_info.set_defaults(func=cmd_info)
+
+    p_describe = sub.add_parser(
+        "describe",
+        help="info plus the encoding advisor's per-field codec choices",
+    )
+    p_describe.add_argument("store", help="store file (.pds)")
+    p_describe.set_defaults(func=cmd_describe)
 
     p_demo = sub.add_parser("demo", help="run the paper's queries on demo data")
     p_demo.add_argument("--rows", type=int, default=50_000)
@@ -493,6 +575,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON report here"
     )
     p_compress_bench.set_defaults(func=cmd_bench_compress)
+
+    p_advisor_bench = bench_sub.add_parser(
+        "advisor",
+        help="static-codec baseline vs advisor-chosen per-field codecs "
+        "(size x decode-throughput)",
+    )
+    p_advisor_bench.add_argument("--rows", type=int, default=60_000)
+    p_advisor_bench.add_argument("--repeats", type=int, default=3)
+    p_advisor_bench.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_advisor_bench.set_defaults(func=cmd_bench_advisor)
 
     p_chaos = sub.add_parser(
         "chaos",

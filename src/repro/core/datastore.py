@@ -27,11 +27,18 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
+from repro.compress.advisor import (
+    AdvisorConfig,
+    choose_codec,
+    profile_values,
+    sample_window,
+)
+from repro.compress.registry import get_codec
 from repro.core.engine import (
     ChunkData,
     PresenceAggregator,
@@ -125,6 +132,16 @@ class DataStoreOptions:
     # row_coverage instead of failing the query; strict mode raises
     # ChunkUnavailableError.
     degrade: bool = True
+    # Encoding-advisor knobs (see repro.compress.advisor). codec=None
+    # keeps the legacy PDS2 field sections byte-identical to older
+    # stores; "auto" lets the advisor pick per field; any registered
+    # codec name forces that codec for every field.
+    codec: str | None = None
+    advisor_sample_rows: int = 4096
+    advisor_seed: int = 2012
+    advisor_size_weight: float = 1.0
+    advisor_speed_weight: float = 0.15
+    advisor_mode: str = "stats"
 
     def __post_init__(self) -> None:
         problem = supervision_knob_problem(
@@ -136,6 +153,21 @@ class DataStoreOptions:
         )
         if problem is not None:
             raise ExecutionError(problem)
+        if self.codec is not None and self.codec != "auto":
+            get_codec(self.codec)  # unknown names raise CompressionError
+        # Build the advisor view eagerly so bad advisor knobs fail at
+        # option construction, like the supervision knobs above.
+        self.advisor_config()
+
+    def advisor_config(self) -> AdvisorConfig:
+        """The advisor-facing view of the encoding knobs."""
+        return AdvisorConfig(
+            sample_rows=self.advisor_sample_rows,
+            seed=self.advisor_seed,
+            size_weight=self.advisor_size_weight,
+            speed_weight=self.advisor_speed_weight,
+            mode=self.advisor_mode,
+        )
 
     def supervision(self) -> SupervisionConfig:
         """The executor-facing view of the supervision knobs."""
@@ -162,6 +194,11 @@ class FieldStore:
         self.dictionary = dictionary
         self.chunks = chunks
         self.virtual = virtual
+        # Advisor verdict for this field's serialized section (None
+        # means the legacy uncompressed framing). codec_choice keeps
+        # the full CodecChoice record for describe/fsck surfacing.
+        self.codec: str | None = None
+        self.codec_choice: dict[str, Any] | None = None
         self._row_gids: list[np.ndarray | None] = [None] * len(chunks)
         self._value_array: np.ndarray | None = None
         self._numeric_values: np.ndarray | None = None
@@ -302,9 +339,14 @@ class ImportStats:
     partition_seconds: float = 0.0
     dictionary_seconds: float = 0.0
     encode_seconds: float = 0.0
+    advisor_seconds: float = 0.0
     total_seconds: float = 0.0
     dictionary_bytes: int = 0
     chunk_bytes: int = 0
+    # Field name -> the advisor's CodecChoice record (plus the column
+    # profile when the advisor ran in "auto" mode). Empty when the
+    # import used the legacy codec-less framing.
+    field_codecs: dict[str, Any] = field(default_factory=dict)
 
     def phase_seconds(self) -> dict[str, float]:
         """Phase name -> wall-clock seconds, in pipeline order."""
@@ -314,6 +356,7 @@ class ImportStats:
             "partition": self.partition_seconds,
             "dictionary": self.dictionary_seconds,
             "encode": self.encode_seconds,
+            "advisor": self.advisor_seconds,
         }
 
     def rows_per_second(self) -> dict[str, float]:
@@ -335,6 +378,7 @@ class ImportStats:
             "dictionary_bytes": self.dictionary_bytes,
             "chunk_bytes": self.chunk_bytes,
             "rows_per_second": self.rows_per_second(),
+            "field_codecs": dict(self.field_codecs),
         }
 
     def publish(self) -> None:
@@ -476,6 +520,31 @@ class DataStore:
             stats.dictionary_bytes += dictionary.size_bytes()
             stats.chunk_bytes += sum(chunk.size_bytes() for chunk in chunks)
             fields[name] = FieldStore(name, dictionary, chunks)
+
+        if options.codec is not None:
+            phase_started = time.perf_counter()
+            # Lazy import: serde imports this module to rebuild stores.
+            from repro.storage.serde import encode_field_section
+
+            advisor_cfg = options.advisor_config()
+            for name, field_store in fields.items():
+                section = encode_field_section(field_store)
+                sample = sample_window(section, advisor_cfg)
+                if options.codec == "auto":
+                    profile = profile_values(table.column(name), advisor_cfg)
+                    choice = choose_codec(sample, advisor_cfg, profile=profile)
+                else:
+                    profile = None
+                    choice = choose_codec(
+                        sample, advisor_cfg, candidates=(options.codec,)
+                    )
+                field_store.codec = choice.codec
+                field_store.codec_choice = choice.as_dict()
+                record = choice.as_dict()
+                if profile is not None:
+                    record["profile"] = profile.as_dict()
+                stats.field_codecs[name] = record
+            stats.advisor_seconds += time.perf_counter() - phase_started
 
         stats.chunks = len(chunk_rows)
         stats.total_seconds = time.perf_counter() - total_started

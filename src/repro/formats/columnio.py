@@ -15,27 +15,43 @@ File layout::
 Each column is split into blocks of ``block_rows`` rows. A block stores
 a NULL bitmap followed by the non-null values (varint-length strings /
 zigzag varint ints / raw 8-byte doubles), compressed with a registry
-codec (zippy by default). The header records per-column block offsets
-so a scan touches only the referenced columns — ``memory_bytes``
-reports exactly those columns' compressed bytes, which is how the paper
-accounts Dremel's memory in Table 1.
+codec. The header records per-column block offsets so a scan touches
+only the referenced columns — ``memory_bytes`` reports exactly those
+columns' compressed bytes, which is how the paper accounts Dremel's
+memory in Table 1.
+
+Header versions: version-1 files record one file-wide ``codec``;
+version-2 files (written by this module since PR 9) record a codec
+*per column*, so ``codec="auto"`` can let the encoding advisor
+(:mod:`repro.compress.advisor`) pick a different pipeline for each
+column — the chosen name plus the advisor's ``codec_choice`` record
+land in that column's header entry. Version-1 files still load.
 
 INT and FLOAT block bodies are encoded and decoded with the bulk
 varint/zigzag kernels of :mod:`repro.compress.varint` (PR 5) — one
 vectorized pass per block instead of one ``decode_zigzag`` call per
 cell; STRING blocks keep the scalar walk because each value's length
 prefix feeds the next read position. Codec activity is visible via
-:meth:`ColumnIoBackend.codec_stats`.
+:meth:`ColumnIoBackend.codec_stats`, which reports *this backend's*
+decode traffic (per-instance stats, not the process-wide registry
+counters — two open files never alias each other's numbers).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from collections.abc import Iterator
 
 import numpy as np
 
+from repro.compress.advisor import (
+    AdvisorConfig,
+    choose_codec,
+    profile_values,
+    sample_window,
+)
 from repro.compress.registry import CompressionStats, get_codec
 from repro.compress.varint import (
     decode_varint,
@@ -115,30 +131,63 @@ def write_columnio(
     path: str,
     codec: str = "zippy",
     block_rows: int = _DEFAULT_BLOCK_ROWS,
+    advisor_config: AdvisorConfig | None = None,
 ) -> int:
-    """Write ``table`` to ``path``; returns the file size in bytes."""
-    compressor = get_codec(codec)
+    """Write ``table`` to ``path``; returns the file size in bytes.
+
+    ``codec`` is either a registry codec name (applied to every
+    column) or ``"auto"``, which runs the encoding advisor per column
+    and records each choice in the version-2 header.
+    """
+    config = advisor_config if advisor_config is not None else AdvisorConfig()
+    if codec != "auto":
+        get_codec(codec)  # fail on unknown names before writing anything
     columns_meta = []
     blob = bytearray()
     for name in table.field_names:
         column = table.column(name)
-        blocks = []
+        raw_blocks = []
         for start in range(0, max(table.n_rows, 1), block_rows):
             values = column.values[start : start + block_rows]
             if not values and table.n_rows:
                 break
-            compressed = compressor.compress(
-                _encode_block(values, column.dtype)
-            )
+            raw_blocks.append(_encode_block(values, column.dtype))
+        choice_meta = None
+        if codec == "auto":
+            profile = profile_values(column.values, config)
+            sample = sample_window(b"".join(raw_blocks), config)
+            choice = choose_codec(sample, config, profile=profile)
+            column_codec = choice.codec
+            choice_meta = choice.as_dict()
+            choice_meta.pop("scores", None)  # too bulky for a file header
+        else:
+            column_codec = codec
+        compressor = get_codec(column_codec)
+        blocks = []
+        raw_total = 0
+        compressed_total = 0
+        for raw in raw_blocks:
+            compressed = compressor.compress(raw)
             blocks.append({"offset": len(blob), "size": len(compressed)})
             blob += compressed
-        columns_meta.append(
-            {"name": name, "dtype": column.dtype.value, "blocks": blocks}
-        )
+            raw_total += len(raw)
+            compressed_total += len(compressed)
+        meta = {
+            "name": name,
+            "dtype": column.dtype.value,
+            "codec": column_codec,
+            "blocks": blocks,
+        }
+        if choice_meta is not None:
+            choice_meta["actual_ratio"] = (
+                raw_total / compressed_total if compressed_total else 0.0
+            )
+            meta["codec_choice"] = choice_meta
+        columns_meta.append(meta)
     header = json.dumps(
         {
+            "version": 2,
             "n_rows": table.n_rows,
-            "codec": codec,
             "block_rows": block_rows,
             "columns": columns_meta,
         }
@@ -179,9 +228,26 @@ class ColumnIoBackend(Backend):
             header = json.loads(handle.read(header_len).decode("utf-8"))
             self._data_start = 4 + header_start + header_len
         self._n_rows = header["n_rows"]
-        self._codec = get_codec(header["codec"])
+        version = header.get("version", 1)
+        if version == 1:
+            # Legacy layout: one file-wide codec for every column.
+            shared_codec = header["codec"]
+            for column_meta in header["columns"]:
+                column_meta.setdefault("codec", shared_codec)
+        elif version != 2:
+            raise TableError(
+                f"unsupported column-io header version {version} in {path}"
+            )
         self._columns = {c["name"]: c for c in header["columns"]}
         self._order = [c["name"] for c in header["columns"]]
+        self._codecs = {
+            name: get_codec(meta["codec"])
+            for name, meta in self._columns.items()
+        }
+        # Per-instance decode accounting: two open backends must never
+        # alias each other's numbers, so the registry's process-wide
+        # stats are not exposed here (satellite fix, PR 9).
+        self._local_stats: dict[str, CompressionStats] = {}
 
     @property
     def schema(self) -> Schema:
@@ -200,23 +266,47 @@ class ColumnIoBackend(Backend):
         except KeyError:
             raise TableError(f"no column {name!r} in {self._path}") from None
         dtype = DataType(meta["dtype"])
+        codec = self._codecs[name]
+        local = self._local_stats.setdefault(
+            codec.name, CompressionStats(name=codec.name)
+        )
         values: list = []
         with open(self._path, "rb") as handle:
             for block in meta["blocks"]:
                 handle.seek(self._data_start + block["offset"])
                 compressed = handle.read(block["size"])
-                values.extend(
-                    _decode_block(self._codec.decompress(compressed), dtype)
-                )
+                started = time.perf_counter()
+                raw = codec.decompress(compressed)
+                local.decode_seconds += time.perf_counter() - started
+                local.decode_calls += 1
+                local.decode_bytes_in += len(compressed)
+                local.decode_bytes_out += len(raw)
+                values.extend(_decode_block(raw, dtype))
         return values
 
     def column_compressed_bytes(self, name: str) -> int:
         """Compressed on-disk footprint of one column."""
         return sum(block["size"] for block in self._columns[name]["blocks"])
 
-    def codec_stats(self) -> CompressionStats:
-        """Live per-codec stats for this file's codec (process-wide)."""
-        return self._codec.stats
+    def column_codec(self, name: str) -> str:
+        """The codec name this file's header records for ``name``."""
+        try:
+            return self._columns[name]["codec"]
+        except KeyError:
+            raise TableError(f"no column {name!r} in {self._path}") from None
+
+    def column_codec_choice(self, name: str) -> dict | None:
+        """The advisor's recorded choice for ``name`` (None if absent)."""
+        return self._columns.get(name, {}).get("codec_choice")
+
+    def codec_stats(self) -> dict[str, CompressionStats]:
+        """Codec name -> decode stats for *this backend's* reads only.
+
+        Per-instance accounting: the process-wide registry stats keep
+        aggregating across files, but these numbers cover exactly the
+        blocks this backend decompressed.
+        """
+        return dict(self._local_stats)
 
     def _referenced_columns(self, query: Query | None) -> list[str]:
         if query is None:

@@ -18,14 +18,25 @@ disk hit splits — the quantity behind Figure 5 — and mirrored into
 that alone overflows a layer is never admitted (it would stay resident
 forever, since eviction only considers *other* entries) — it goes
 straight to that layer's eviction path and the rejection is counted.
+
+The demotion codec is configurable; ``codec="auto"`` defers to the
+encoding advisor per *blob class* (the prefix before the first ``:``
+in the key, e.g. ``chunk:country:3`` -> ``chunk``): the first blob of
+a class to be demoted is sampled and scored, and every later blob of
+that class reuses the winner, so keys that name the same kind of
+payload compress the same way. :meth:`HybridLayerStore.codec_stats`
+reports *this store's* codec traffic (per-instance stats — two stores
+sharing a codec never alias each other's numbers).
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.compress.advisor import AdvisorConfig, choose_codec, sample_window
 from repro.compress.registry import CompressionStats, get_codec
 from repro.errors import StorageError
 from repro.monitoring import counters
@@ -133,8 +144,22 @@ class HybridLayerStore:
         cold_capacity_bytes: float,
         codec: str = "zippy",
         loader: Callable[[str], bytes] | None = None,
+        advisor_config: AdvisorConfig | None = None,
     ) -> None:
-        self._codec = get_codec(codec)
+        if codec != "auto":
+            get_codec(codec)  # fail fast on unknown names
+        self._codec_name = codec
+        self._advisor_config = (
+            advisor_config if advisor_config is not None else AdvisorConfig()
+        )
+        # Blob class -> advisor-chosen codec name (auto mode only), and
+        # cold key -> the codec its resident bytes were compressed with.
+        self._class_codecs: dict[str, str] = {}
+        self._blob_codecs: dict[str, str] = {}
+        # Per-instance codec accounting (satellite fix, PR 9): the
+        # registry's process-wide stats keep aggregating, but these
+        # cover exactly this store's demote/promote traffic.
+        self._local_stats: dict[str, CompressionStats] = {}
         self._hot = _LruLayer(hot_capacity_bytes, self._demote, self._reject)
         self._cold = _LruLayer(cold_capacity_bytes, self._drop, self._reject)
         self._loader = loader
@@ -144,8 +169,48 @@ class HybridLayerStore:
         self.stats.oversized_rejections += 1
         counters.increment("storage.layers.oversized_rejections")
 
+    @staticmethod
+    def _blob_class(key: str) -> str:
+        """The key prefix before the first ``:`` (the whole key if none)."""
+        return key.split(":", 1)[0]
+
+    def _codec_for(self, key: str, data: bytes) -> str:
+        """The demotion codec for ``key`` (advisor-chosen in auto mode)."""
+        if self._codec_name != "auto":
+            return self._codec_name
+        blob_class = self._blob_class(key)
+        chosen = self._class_codecs.get(blob_class)
+        if chosen is None:
+            config = self._advisor_config
+            choice = choose_codec(sample_window(data, config), config)
+            chosen = choice.codec
+            self._class_codecs[blob_class] = chosen
+        return chosen
+
+    def _run_codec(self, name: str, direction: str, data: bytes) -> bytes:
+        """Run a codec and book the call into this store's local stats."""
+        codec = get_codec(name)
+        local = self._local_stats.setdefault(
+            name, CompressionStats(name=name)
+        )
+        started = time.perf_counter()
+        if direction == "encode":
+            out = codec.compress(data)
+            local.encode_seconds += time.perf_counter() - started
+            local.encode_calls += 1
+            local.encode_bytes_in += len(data)
+            local.encode_bytes_out += len(out)
+        else:
+            out = codec.decompress(data)
+            local.decode_seconds += time.perf_counter() - started
+            local.decode_calls += 1
+            local.decode_bytes_in += len(data)
+            local.decode_bytes_out += len(out)
+        return out
+
     def _demote(self, key: str, data: bytes) -> None:
-        compressed = self._codec.compress(data)
+        codec_name = self._codec_for(key, data)
+        compressed = self._run_codec(codec_name, "encode", data)
         self.stats.demotions += 1
         self.stats.bytes_compressed += len(data)
         self.stats.bytes_compressed_out += len(compressed)
@@ -154,15 +219,22 @@ class HybridLayerStore:
         counters.increment(
             "storage.layers.bytes_compressed_out", len(compressed)
         )
+        # Record the codec before the put: an immediate drop/rejection
+        # cleans the record back up via _drop.
+        self._blob_codecs[key] = codec_name
         self._cold.put(key, compressed)
+        if key not in self._cold:
+            self._blob_codecs.pop(key, None)
 
     def _drop(self, key: str, data: bytes) -> None:
+        self._blob_codecs.pop(key, None)
         self.stats.drops += 1
         counters.increment("storage.layers.drops")
 
     def put(self, key: str, data: bytes) -> None:
         """Insert a blob into the hot layer (demoting LRU overflow)."""
         self._cold.remove(key)
+        self._blob_codecs.pop(key, None)
         self._hot.put(key, data)
 
     def get(self, key: str) -> bytes:
@@ -180,8 +252,10 @@ class HybridLayerStore:
             counters.increment(
                 "storage.layers.bytes_decompressed", len(compressed)
             )
-            data = self._codec.decompress(compressed)
+            codec_name = self._blob_codecs.get(key, self._codec_name)
+            data = self._run_codec(codec_name, "decode", compressed)
             self._cold.remove(key)
+            self._blob_codecs.pop(key, None)
             self._hot.put(key, data)
             return data
         if self._loader is None:
@@ -194,9 +268,18 @@ class HybridLayerStore:
         self._hot.put(key, data)
         return data
 
-    def codec_stats(self) -> CompressionStats:
-        """Live per-codec stats for this store's codec (process-wide)."""
-        return self._codec.stats
+    def codec_stats(self) -> dict[str, CompressionStats]:
+        """Codec name -> stats for *this store's* layer traffic only.
+
+        Per-instance accounting: two stores configured with the same
+        codec never alias each other's numbers (the process-wide
+        aggregate still lives in the registry).
+        """
+        return dict(self._local_stats)
+
+    def blob_class_codecs(self) -> dict[str, str]:
+        """Blob class -> advisor-chosen codec (empty unless auto mode)."""
+        return dict(self._class_codecs)
 
     def contains_hot(self, key: str) -> bool:
         return key in self._hot

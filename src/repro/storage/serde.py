@@ -18,11 +18,20 @@ File layout (format 2)::
     magic 'PDS2'
     crc32(everything after this word)  # 4 bytes little-endian
     varint(header_len) header-JSON     # options, schema, per-field meta
-    per field, in header order:
+    per field, in header order, one *section*:
         varint(dict_payload_len) dict_payload
         per chunk:
             chunk-dict: varint(n) then n delta varints
             elements:   tag(1) varint(n_rows) varint(payload_len) payload
+
+When the encoding advisor chose a codec for a field (its header meta
+carries ``"codec"``), that field's section is instead stored as
+``varint(compressed_len) compressed_section`` where
+``compressed_section`` is the section above run through the named
+registry codec; the meta also records the advisor's ``codec_choice``
+(predicted vs. actual ratio, sample size, scoring mode) for
+``repro describe`` and FSCK012. Fields without a recorded codec are
+byte-identical to files written before the advisor existed.
 
 The checksum makes corruption detection exact: any bit flip or
 truncation after the magic word fails the CRC before parsing begins,
@@ -46,6 +55,7 @@ import zlib
 
 import numpy as np
 
+from repro.compress.registry import compress, decompress
 from repro.compress.varint import (
     decode_varint,
     decode_varint_stream,
@@ -53,7 +63,7 @@ from repro.compress.varint import (
     encode_varint_array,
 )
 from repro.core.datastore import DataStore, DataStoreOptions, FieldStore
-from repro.errors import StorageError
+from repro.errors import CompressionError, StorageError
 from repro.storage.bitset import BitSet
 from repro.storage.chunk import ColumnChunk
 from repro.storage.dictionary import (
@@ -281,6 +291,12 @@ def options_to_dict(options: DataStoreOptions) -> dict:
         "task_backoff_multiplier": options.task_backoff_multiplier,
         "watchdog_interval_seconds": options.watchdog_interval_seconds,
         "degrade": options.degrade,
+        "codec": options.codec,
+        "advisor_sample_rows": options.advisor_sample_rows,
+        "advisor_seed": options.advisor_seed,
+        "advisor_size_weight": options.advisor_size_weight,
+        "advisor_speed_weight": options.advisor_speed_weight,
+        "advisor_mode": options.advisor_mode,
     }
 
 
@@ -315,7 +331,30 @@ def options_from_dict(raw_options: dict) -> DataStoreOptions:
             "watchdog_interval_seconds", 0.1
         ),
         degrade=raw_options.get("degrade", True),
+        # Advisor knobs: absent in files written before PR 9.
+        codec=raw_options.get("codec"),
+        advisor_sample_rows=raw_options.get("advisor_sample_rows", 4096),
+        advisor_seed=raw_options.get("advisor_seed", 2012),
+        advisor_size_weight=raw_options.get("advisor_size_weight", 1.0),
+        advisor_speed_weight=raw_options.get("advisor_speed_weight", 0.15),
+        advisor_mode=raw_options.get("advisor_mode", "stats"),
     )
+
+
+def encode_field_section(field: FieldStore) -> bytes:
+    """One field's complete body section (dictionary + all chunks).
+
+    This is the unit the encoding advisor samples, the unit the
+    per-field codec compresses, and — for codec-less fields — exactly
+    the bytes :func:`save_store` has always written.
+    """
+    dict_payload = encode_dictionary(field.dictionary)
+    section = bytearray(encode_varint(len(dict_payload)))
+    section += dict_payload
+    for chunk in field.chunks:
+        section += encode_chunk_dict(chunk.chunk_dict)
+        section += encode_elements(chunk.elements)
+    return bytes(section)
 
 
 def save_store(store: DataStore, path: str) -> int:
@@ -326,30 +365,39 @@ def save_store(store: DataStore, path: str) -> int:
     field_names = [
         name for name, field in store.fields.items() if not field.virtual
     ]
+    field_metas = []
+    sections = []
+    for name in field_names:
+        field = store.field(name)
+        meta = {
+            "name": name,
+            "dictionary": dictionary_meta(field.dictionary),
+        }
+        section = encode_field_section(field)
+        if field.codec is not None:
+            compressed = compress(field.codec, section)
+            meta["codec"] = field.codec
+            choice = dict(field.codec_choice or {})
+            choice.pop("scores", None)  # too bulky for a file header
+            choice["actual_ratio"] = (
+                len(section) / len(compressed) if compressed else 0.0
+            )
+            meta["codec_choice"] = choice
+            section = encode_varint(len(compressed)) + compressed
+        field_metas.append(meta)
+        sections.append(section)
     header = {
         "options": options_to_dict(store.options),
         "n_rows": store.n_rows,
         "chunk_row_counts": store.chunk_row_counts,
-        "fields": [
-            {
-                "name": name,
-                "dictionary": dictionary_meta(store.field(name).dictionary),
-            }
-            for name in field_names
-        ],
+        "fields": field_metas,
     }
     body = bytearray()
     header_bytes = json.dumps(header).encode("utf-8")
     body += encode_varint(len(header_bytes))
     body += header_bytes
-    for name in field_names:
-        field = store.field(name)
-        dict_payload = encode_dictionary(field.dictionary)
-        body += encode_varint(len(dict_payload))
-        body += dict_payload
-        for chunk in field.chunks:
-            body += encode_chunk_dict(chunk.chunk_dict)
-            body += encode_elements(chunk.elements)
+    for section in sections:
+        body += section
     blob = bytearray(_MAGIC)
     blob += crc32_tag(bytes(body))
     blob += body
@@ -385,7 +433,13 @@ def load_store(path: str) -> DataStore:
         raise StorageError(f"not a datastore file: magic {magic!r}")
     try:
         return _parse_store_body(data, pos)
-    except (IndexError, ValueError, KeyError, UnicodeDecodeError) as error:
+    except (
+        IndexError,
+        ValueError,
+        KeyError,
+        UnicodeDecodeError,
+        CompressionError,
+    ) as error:
         raise StorageError(
             f"store file is structurally corrupt: {type(error).__name__}: "
             f"{error}"
@@ -405,24 +459,53 @@ def _parse_store_body(data: bytes, pos: int) -> DataStore:
     fields: dict[str, FieldStore] = {}
     for field_meta in header["fields"]:
         name = field_meta["name"]
-        dict_len, pos = decode_varint(data, pos)
-        if pos + dict_len > len(data):
-            raise StorageError(
-                f"field {name!r}: dictionary payload truncated"
+        codec_name = field_meta.get("codec")
+        if codec_name is None:
+            field, pos = _parse_field_section(
+                data, pos, field_meta, chunk_row_counts
             )
-        dictionary = decode_dictionary(
-            field_meta["dictionary"], bytes(data[pos : pos + dict_len])
-        )
-        pos += dict_len
-        chunks = []
-        for expected_rows in chunk_row_counts:
-            chunk_dict, pos = decode_chunk_dict(data, pos)
-            elements, pos = decode_elements(data, pos)
-            if elements.n_rows != expected_rows:
+        else:
+            blob_len, pos = decode_varint(data, pos)
+            if pos + blob_len > len(data):
                 raise StorageError(
-                    f"field {name!r}: chunk has {elements.n_rows} rows, "
-                    f"store header says {expected_rows}"
+                    f"field {name!r}: compressed section truncated"
                 )
-            chunks.append(ColumnChunk(chunk_dict, elements))
-        fields[name] = FieldStore(name, dictionary, chunks)
+            section = decompress(codec_name, bytes(data[pos : pos + blob_len]))
+            pos += blob_len
+            field, end = _parse_field_section(
+                section, 0, field_meta, chunk_row_counts
+            )
+            if end != len(section):
+                raise StorageError(
+                    f"field {name!r}: {len(section) - end} stray byte(s) "
+                    "after the decompressed section"
+                )
+            field.codec = codec_name
+            field.codec_choice = field_meta.get("codec_choice")
+        fields[name] = field
     return DataStore(options, header["n_rows"], chunk_row_counts, fields)
+
+
+def _parse_field_section(
+    data: bytes, pos: int, field_meta: dict, chunk_row_counts: list[int]
+) -> tuple[FieldStore, int]:
+    """Parse one field's section starting at ``pos``."""
+    name = field_meta["name"]
+    dict_len, pos = decode_varint(data, pos)
+    if pos + dict_len > len(data):
+        raise StorageError(f"field {name!r}: dictionary payload truncated")
+    dictionary = decode_dictionary(
+        field_meta["dictionary"], bytes(data[pos : pos + dict_len])
+    )
+    pos += dict_len
+    chunks = []
+    for expected_rows in chunk_row_counts:
+        chunk_dict, pos = decode_chunk_dict(data, pos)
+        elements, pos = decode_elements(data, pos)
+        if elements.n_rows != expected_rows:
+            raise StorageError(
+                f"field {name!r}: chunk has {elements.n_rows} rows, "
+                f"store header says {expected_rows}"
+            )
+        chunks.append(ColumnChunk(chunk_dict, elements))
+    return FieldStore(name, dictionary, chunks), pos

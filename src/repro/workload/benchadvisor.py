@@ -1,0 +1,248 @@
+"""The encoding-advisor benchmark: static codec vs per-field advisor picks.
+
+One reusable implementation behind both surfaces that run it:
+
+- ``repro bench advisor`` (the CLI) for ad-hoc runs, and
+- ``benchmarks/bench_encoding_advisor.py``, which records the repo's
+  perf trajectory point (``BENCH_PR9.json``).
+
+Two stores are built from the *same* generated table: a baseline whose
+field sections all go through one static codec, and an advisor store
+(``codec="auto"``) whose sections carry the per-column choices. For
+every field the bench then times encode/decode of the identical section
+bytes under both codecs and scores
+
+    (static_size / advisor_size) * (advisor_decode_MBps / static_decode_MBps)
+
+— the size x decode-throughput product the advisor's cost model
+optimizes. The headline number is the geometric mean of that per-field
+metric. Correctness is asserted on every run regardless of scale: both
+codecs must round-trip every section byte-exactly, the advisor store
+must pass ``fsck_store`` clean, and a save/load cycle must preserve
+rows, codec choices and section bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.fsck import fsck_store
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.errors import ReproError
+from repro.storage.serde import encode_field_section, load_store, save_store
+from repro.workload.generator import LogsConfig, generate_query_logs
+
+#: The baseline every advisor choice is scored against — the store's
+#: historical one-codec-for-everything default.
+STATIC_CODEC = "zippy"
+
+
+@dataclass(frozen=True)
+class AdvisorBenchConfig:
+    """Knobs for one advisor-benchmark run."""
+
+    rows: int = 200_000
+    repeats: int = 3
+    seed: int = 2012
+
+    def options(self, codec: str) -> DataStoreOptions:
+        return DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=max(500, self.rows // 24),
+            reorder_rows=True,
+            codec=codec,
+            advisor_seed=self.seed,
+        )
+
+
+def _best_seconds(fn: Callable[[], Any], repeats: int) -> float:
+    best = float("inf")
+    for __ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_codec(
+    codec_name: str, section: bytes, repeats: int
+) -> dict[str, Any]:
+    """Size + best-of encode/decode throughput for one codec/section."""
+    from repro.compress.registry import get_codec
+
+    codec = get_codec(codec_name)
+    blob = codec.compress(section)
+    if codec.decompress(blob) != section:
+        raise ReproError(
+            f"codec {codec_name} failed to round-trip a "
+            f"{len(section)}-byte field section"
+        )
+    encode_seconds = _best_seconds(lambda: codec.compress(section), repeats)
+    decode_seconds = _best_seconds(lambda: codec.decompress(blob), repeats)
+    mib = len(section) / (1 << 20)
+    return {
+        "codec": codec_name,
+        "section_bytes": len(section),
+        "encoded_bytes": len(blob),
+        "ratio": len(section) / len(blob) if blob else 0.0,
+        "encode_seconds": encode_seconds,
+        "decode_seconds": decode_seconds,
+        "encode_mb_per_s": mib / max(encode_seconds, 1e-9),
+        "decode_mb_per_s": mib / max(decode_seconds, 1e-9),
+    }
+
+
+def _build_table(config: AdvisorBenchConfig):
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 4000)),
+            n_teams=min(40, max(8, config.rows // 3000)),
+            seed=config.seed,
+        )
+    )
+
+
+def _check_save_load(store: DataStore) -> dict[str, Any]:
+    """Save/load the advisor store; verify codecs + sections survive."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-advisor-") as tmp:
+        path = os.path.join(tmp, "advisor.pds")
+        saved_bytes = save_store(store, path)
+        loaded = load_store(path)
+    codecs_match = all(
+        loaded.fields[name].codec == field.codec
+        for name, field in store.fields.items()
+        if not field.virtual
+    )
+    sections_match = all(
+        encode_field_section(loaded.fields[name])
+        == encode_field_section(field)
+        for name, field in store.fields.items()
+        if not field.virtual
+    )
+    return {
+        "saved_bytes": saved_bytes,
+        "rows_match": loaded.n_rows == store.n_rows,
+        "codecs_match": codecs_match,
+        "sections_match": sections_match,
+    }
+
+
+def run_advisor_bench(
+    config: AdvisorBenchConfig | None = None,
+) -> dict[str, Any]:
+    """Run the advisor bench; returns the JSON-ready trajectory point."""
+    config = config or AdvisorBenchConfig()
+    table = _build_table(config)
+
+    static_store = DataStore.from_table(table, config.options(STATIC_CODEC))
+    advisor_store = DataStore.from_table(table, config.options("auto"))
+
+    fsck_report = fsck_store(advisor_store)
+    advisor_stats = advisor_store.import_stats
+
+    fields: dict[str, dict[str, Any]] = {}
+    log_metrics: list[float] = []
+    static_total = 0
+    advisor_total = 0
+    for name in sorted(advisor_store.fields):
+        field = advisor_store.fields[name]
+        if field.virtual:
+            continue
+        section = encode_field_section(field)
+        static_section = encode_field_section(static_store.fields[name])
+        static_entry = _measure_codec(STATIC_CODEC, section, config.repeats)
+        advisor_entry = _measure_codec(
+            field.codec if field.codec is not None else STATIC_CODEC,
+            section,
+            config.repeats,
+        )
+        size_gain = (
+            static_entry["encoded_bytes"] / advisor_entry["encoded_bytes"]
+        )
+        decode_gain = (
+            advisor_entry["decode_mb_per_s"] / static_entry["decode_mb_per_s"]
+        )
+        metric = size_gain * decode_gain
+        log_metrics.append(math.log(metric))
+        static_total += static_entry["encoded_bytes"]
+        advisor_total += advisor_entry["encoded_bytes"]
+        fields[name] = {
+            "sections_identical": section == static_section,
+            "static": static_entry,
+            "advisor": advisor_entry,
+            "size_gain": size_gain,
+            "decode_gain": decode_gain,
+            "size_decode_metric": metric,
+            "choice": dict(advisor_stats.field_codecs.get(name, {}))
+            if advisor_stats is not None
+            else {},
+        }
+
+    geomean = (
+        math.exp(sum(log_metrics) / len(log_metrics)) if log_metrics else 0.0
+    )
+    return {
+        "bench": "advisor",
+        "pr": 9,
+        "rows": config.rows,
+        "repeats": config.repeats,
+        "seed": config.seed,
+        "static_codec": STATIC_CODEC,
+        "fields": fields,
+        "static_encoded_bytes": static_total,
+        "advisor_encoded_bytes": advisor_total,
+        "size_decode_geomean": geomean,
+        "advisor_seconds": (
+            advisor_stats.advisor_seconds if advisor_stats is not None else 0.0
+        ),
+        "fsck_clean": fsck_report.ok,
+        "fsck_findings": [str(f) for f in fsck_report.findings],
+        "save_load": _check_save_load(advisor_store),
+    }
+
+
+def render_advisor_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary for a :func:`run_advisor_bench` result."""
+    lines = [
+        f"advisor bench — {report['rows']} rows, best of "
+        f"{report['repeats']}, baseline codec {report['static_codec']}",
+        "",
+        f"{'field':<14} {'advisor codec':<16} {'size x':>7} "
+        f"{'dec x':>7} {'metric':>7}  dec MB/s (base -> advisor)",
+    ]
+    for name, entry in report["fields"].items():
+        lines.append(
+            f"{name:<14} {entry['advisor']['codec']:<16} "
+            f"{entry['size_gain']:>6.2f}x "
+            f"{entry['decode_gain']:>6.2f}x "
+            f"{entry['size_decode_metric']:>7.2f}  "
+            f"{entry['static']['decode_mb_per_s']:>8.1f} -> "
+            f"{entry['advisor']['decode_mb_per_s']:>8.1f}"
+        )
+    save_load = report["save_load"]
+    lines.extend(
+        [
+            "",
+            f"encoded bytes: static {report['static_encoded_bytes']} -> "
+            f"advisor {report['advisor_encoded_bytes']}",
+            f"size x decode geomean: {report['size_decode_geomean']:.2f}x",
+            f"advisor phase: {1000 * report['advisor_seconds']:.1f} ms",
+            "fsck: " + ("clean" if report["fsck_clean"] else "FINDINGS"),
+            "save/load: "
+            + (
+                "ok"
+                if save_load["rows_match"]
+                and save_load["codecs_match"]
+                and save_load["sections_match"]
+                else "BUG"
+            ),
+        ]
+    )
+    return lines

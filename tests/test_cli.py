@@ -128,6 +128,7 @@ class TestBenchImport:
         assert report["fsck_ok"] is True
         assert set(report["import_stats"]["phase_seconds"]) == {
             "factorize", "reorder", "partition", "dictionary", "encode",
+            "advisor",
         }
 
 

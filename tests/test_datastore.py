@@ -274,6 +274,7 @@ class TestImportStats:
         phases = stats.phase_seconds()
         assert list(phases) == [
             "factorize", "reorder", "partition", "dictionary", "encode",
+            "advisor",
         ]
         assert all(seconds >= 0 for seconds in phases.values())
         assert sum(phases.values()) <= stats.total_seconds

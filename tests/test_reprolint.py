@@ -1088,6 +1088,127 @@ class TestUnboundedFutureWait:
         assert report.ok
 
 
+class TestHardcodedCodecName:
+    def test_registry_call_literal_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.compress.registry import get_codec
+
+            def pick():
+                return get_codec("zippy")
+            """,
+            rel_path="storage/cold.py",
+            select=["REP018"],
+        )
+        assert report.codes() == {"REP018"}
+        assert "'zippy'" in report.findings[0].message
+
+    def test_codec_keyword_literal_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def build(make_store):
+                return make_store(codec="lzo")
+            """,
+            rel_path="storage/cold.py",
+            select=["REP018"],
+        )
+        assert report.codes() == {"REP018"}
+
+    def test_codec_assignment_and_comparison_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def demote(self, field):
+                self.codec_name = "rle"
+                if field.codec == "huffman":
+                    return True
+            """,
+            rel_path="storage/cold.py",
+            select=["REP018"],
+        )
+        assert len(report.findings) == 2
+        assert report.codes() == {"REP018"}
+
+    def test_parameter_default_is_declared(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def write(path, codec="zippy"):
+                return path, codec
+            """,
+            rel_path="formats/columnio.py",
+            select=["REP018"],
+        )
+        assert report.ok
+
+    def test_module_constant_is_declared(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            STATIC_CODEC = "zippy"
+
+            def baseline():
+                return STATIC_CODEC
+            """,
+            rel_path="workload/bench.py",
+            select=["REP018"],
+        )
+        assert report.ok
+
+    def test_lowercase_module_binding_still_flagged(self, tmp_path):
+        # Only ALL_CAPS module constants are sanctioned declarations.
+        report = lint_snippet(
+            tmp_path,
+            """
+            default_codec = "zippy"
+            """,
+            rel_path="workload/bench.py",
+            select=["REP018"],
+        )
+        assert report.codes() == {"REP018"}
+
+    def test_unregistered_strings_ignored(self, tmp_path):
+        # "auto" and unknown names are not registry codecs, and literals
+        # outside codec-selecting positions are always fine.
+        report = lint_snippet(
+            tmp_path,
+            """
+            def route(store, mode):
+                store.codec = "auto"
+                label = "zippy"
+                return mode == "zstd", label
+            """,
+            rel_path="storage/cold.py",
+            select=["REP018"],
+        )
+        assert report.ok
+
+    def test_registry_and_advisor_modules_exempt(self, tmp_path):
+        snippet = """
+            def register_defaults(register):
+                register(codec="zippy")
+        """
+        for rel_path in ("compress/registry.py", "compress/advisor.py"):
+            report = lint_snippet(
+                tmp_path, snippet, rel_path=rel_path, select=["REP018"]
+            )
+            assert report.ok, rel_path
+
+    def test_suppression_with_reason_honoured(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def pin(store):
+                store.codec = "zippy"  # reprolint: disable=REP018 -- golden-file fixture pins the layout
+            """,
+            rel_path="storage/cold.py",
+            select=["REP018"],
+        )
+        assert report.ok
+
+
 class TestCatalogConsistency:
     def test_every_rule_has_a_catalog_entry(self):
         from repro.analysis.catalog import LINT_CATALOG

@@ -1,0 +1,100 @@
+"""Multi-tenant serving layer: QPS, tail latency, cache reuse (PR 10).
+
+Not a paper table — a point on the repo's own perf trajectory:
+`BENCH_PR10.json` records, per offered concurrency, the closed-loop
+QPS and p50/p95/p99 of a cold replay (drill-down subsumption reuse
+only) and a warm replay (exact canonical-plan hits) of the Section 6
+drill-down trace through :class:`repro.service.QueryService`, plus an
+open-loop pass above saturation that demonstrates explicit load
+shedding.
+
+What is asserted unconditionally (correctness, not speed):
+
+- every sampled served result is content-identical to a direct
+  execution on the store (the semantic cache and subsumption reuse may
+  never change an answer);
+- outcome accounting is exact for every pass: completed + rejected +
+  failed == queries submitted, with zero failures;
+- closed-loop passes complete everything (nothing shed below the
+  admission limits), while the open-loop overload pass sheds a nonzero
+  number of queries as explicit ``QueryRejected`` outcomes;
+- warm passes hit the semantic cache for every query.
+
+The speedup/scaling gates (warm p50 >= 5x cold; multi-client QPS not
+below single-client) are gated on ``os.cpu_count() >= 4``: on a 1-CPU
+box closed-loop concurrency measures lock convoys, not parallelism.
+The measured numbers are recorded in the JSON either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.helpers import BENCH_ROWS, RESULTS_DIR, emit_report
+from repro.workload.benchserve import (
+    ServeBenchConfig,
+    render_serve_report,
+    run_serve_bench,
+)
+
+
+def test_serving_trajectory():
+    config = ServeBenchConfig(rows=BENCH_ROWS, concurrencies=(1, 2, 4))
+    report = run_serve_bench(config)
+
+    emit_report("serving", render_serve_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_PR10.json"
+    out_path.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Correctness gates — these hold on any machine at any scale.
+    correctness = report["correctness"]
+    assert correctness["checked"] > 0
+    assert correctness["mismatches"] == 0, correctness
+
+    assert report["sweep"], "no concurrency points measured"
+    for point in report["sweep"]:
+        for phase in ("cold", "warm"):
+            summary = point[phase]
+            assert summary["queries"] == report["trace_queries"]
+            assert (
+                summary["completed"]
+                + summary["rejected"]
+                + summary["failed"]
+                == summary["queries"]
+            ), (point["concurrency"], phase, summary)
+            assert summary["failed"] == 0, (point["concurrency"], phase)
+            # Closed-loop clients stay within the admission limits.
+            assert summary["rejected"] == 0, (point["concurrency"], phase)
+        # The warm replay repeats the exact trace: every query must be
+        # answered straight from the semantic result cache.
+        assert point["warm"]["cache_hit_fraction"] == 1.0, point
+        # Drill-down refinement makes subsumption reuse available cold.
+        assert point["cold"]["subsumption_fraction"] > 0.0, point
+
+    shed = report["open_loop"]
+    assert (
+        shed["completed"] + shed["rejected"] + shed["failed"]
+        == shed["queries"]
+    ), shed
+    assert shed["failed"] == 0, shed
+    assert shed["rejected"] > 0, (
+        "open-loop overload pass shed nothing",
+        shed,
+    )
+
+    # Perf gates — meaningful only with real parallel hardware.
+    if (os.cpu_count() or 1) >= 4:
+        for point in report["sweep"]:
+            assert point["warm_p50_speedup"] >= 5.0, point
+        single = next(
+            p for p in report["sweep"] if p["concurrency"] == 1
+        )
+        multi = max(report["sweep"], key=lambda p: p["concurrency"])
+        assert multi["cold"]["qps"] >= 0.8 * single["cold"]["qps"], (
+            single["cold"]["qps"],
+            multi["cold"]["qps"],
+        )

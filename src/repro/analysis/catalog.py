@@ -188,6 +188,17 @@ LINT_CATALOG: tuple[CatalogEntry, ...] = (
         "at a call site silently pins a layout decision the advisor "
         "can no longer revisit, and renaming a codec breaks it",
     ),
+    CatalogEntry(
+        "REP019",
+        "unbounded-service-queue",
+        "no unbounded Queue/LifoQueue/PriorityQueue (missing or "
+        "non-positive maxsize), deque without maxlen, or SimpleQueue "
+        "anywhere under repro/service/",
+        "the serving layer's contract is admission control: overload "
+        "must surface as an explicit QueryRejected at offer() time, "
+        "never as silent queue growth, memory pressure and unbounded "
+        "tail latency",
+    ),
 )
 
 FSCK_CATALOG: tuple[CatalogEntry, ...] = (

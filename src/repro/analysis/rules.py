@@ -1,4 +1,4 @@
-"""The built-in reprolint rules (REP001 — REP018).
+"""The built-in reprolint rules (REP001 — REP019).
 
 Each rule encodes one repo convention that keeps the storage layer's
 invariants enforceable:
@@ -84,6 +84,14 @@ definitions, buffer taint — instead of per-node patterns:
   ``compress/registry.py``, ``compress/advisor.py`` and *declared
   defaults* — function parameter defaults and module-level ALL_CAPS
   constants, which are the sanctioned way to name a static fallback.
+
+- REP019 — the serving layer admits by policy, not by memory: every
+  queue or deque constructed under ``repro/service/`` must carry an
+  explicit bound (``Queue(maxsize=n)`` with ``n > 0``,
+  ``deque(maxlen=n)``), and ``SimpleQueue`` — unboundable by
+  construction — is banned there outright. An unbounded buffer turns
+  overload into memory growth and tail latency; the service's contract
+  is an explicit ``QueryRejected`` at admission instead.
 """
 
 from __future__ import annotations
@@ -1553,3 +1561,109 @@ class HardcodedCodecNameRule(LintRule):
                             side, "compared against a codec binding"
                         )
                         break
+
+
+@lint_rule
+class UnboundedServiceQueueRule(LintRule):
+    """REP019: the serving layer admits by policy, not by memory.
+
+    Every queue the service layer buffers work in must carry an
+    explicit capacity, because admission control is the layer's whole
+    contract: overload surfaces as an explicit ``QueryRejected`` at
+    ``offer()`` time, never as silent queue growth. The rule flags,
+    inside ``repro/service/`` only:
+
+    - ``Queue()``/``LifoQueue()``/``PriorityQueue()`` constructed with
+      no ``maxsize``, or with a literal ``maxsize <= 0`` (the stdlib's
+      spelling of *infinite*);
+    - ``deque()`` constructed without a ``maxlen`` (positional second
+      argument or keyword), or with a literal ``maxlen`` of ``None``
+      or ``<= 0``;
+    - ``SimpleQueue()`` anywhere — it is unboundable by construction.
+
+    A non-literal bound (``Queue(maxsize=config.queue_depth)``) is
+    accepted: the rule enforces that a bound is *plumbed*, validation
+    of its value belongs to the config's ``__post_init__``.
+    """
+
+    code = "REP019"
+    name = "unbounded-service-queue"
+    description = (
+        "unbounded Queue/deque/SimpleQueue in repro/service/*; pass an "
+        "explicit maxsize/maxlen so overload sheds at admission "
+        "instead of growing memory"
+    )
+    default_severity = Severity.ERROR
+    only_dirs = ("service",)
+
+    _BOUNDED_QUEUES = {"Queue", "LifoQueue", "PriorityQueue"}
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _is_unbounded_literal(node: ast.expr | None) -> bool:
+        """True when the bound expression is literally no bound."""
+        if node is None:
+            return True
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return True
+            if isinstance(node.value, (int, float)) and node.value <= 0:
+                return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._terminal_name(node.func)
+            keywords = {
+                kw.arg: kw.value
+                for kw in node.keywords
+                if kw.arg is not None
+            }
+            if name == "SimpleQueue":
+                yield RawFinding(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "SimpleQueue cannot be bounded; use "
+                        "Queue(maxsize=...) so the service sheds at "
+                        "admission"
+                    ),
+                )
+            elif name in self._BOUNDED_QUEUES:
+                bound = keywords.get("maxsize")
+                if bound is None and node.args:
+                    bound = node.args[0]
+                if self._is_unbounded_literal(bound):
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name}() without a positive maxsize is "
+                            "an unbounded buffer; the serving layer "
+                            "must bound every queue and reject at "
+                            "admission"
+                        ),
+                    )
+            elif name == "deque":
+                bound = keywords.get("maxlen")
+                if bound is None and len(node.args) >= 2:
+                    bound = node.args[1]
+                if self._is_unbounded_literal(bound):
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "deque() without a positive maxlen is an "
+                            "unbounded buffer; the serving layer must "
+                            "bound every queue and reject at admission"
+                        ),
+                    )

@@ -409,6 +409,109 @@ def cmd_bench_advisor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant serving demo: replay drill-down sessions."""
+    from repro.service import QueryService, ServiceConfig
+    from repro.workload.benchserve import (
+        ServeBenchConfig,
+        build_serve_trace,
+        run_closed_loop,
+        summarize_outcomes,
+        _bench_store,
+        _bench_table,
+    )
+
+    config = ServeBenchConfig(
+        rows=args.rows,
+        n_sessions=args.sessions,
+        clicks_per_session=args.clicks,
+        queries_per_click=args.queries_per_click,
+        n_tenants=args.tenants,
+        executor=args.executor,
+        service_workers=args.workers,
+        queue_depth=args.queue_depth,
+    )
+    table = _bench_table(config)
+    store = _bench_store(table, config)
+    trace = build_serve_trace(table, config.drill(), config.mix())
+    service = QueryService(
+        store,
+        ServiceConfig(
+            workers=config.service_workers,
+            queue_depth=config.queue_depth,
+            max_inflight_per_tenant=config.max_inflight_per_tenant,
+        ),
+    )
+    print(
+        f"serving {len(trace)} drill-down queries from "
+        f"{config.n_sessions} sessions over {config.n_tenants} tenants "
+        f"({args.concurrency} concurrent clients, "
+        f"{config.service_workers} dispatch workers)"
+    )
+    try:
+        for pass_index in range(max(1, args.passes)):
+            outcomes, wall = run_closed_loop(service, trace, args.concurrency)
+            summary = summarize_outcomes(outcomes, wall)
+            label = "cold" if pass_index == 0 else f"pass {pass_index + 1}"
+            print(
+                f"{label:>7}: {summary['qps']:8.1f} q/s, "
+                f"p50 {1000 * summary['p50_seconds']:7.2f} ms, "
+                f"p95 {1000 * summary['p95_seconds']:7.2f} ms, "
+                f"p99 {1000 * summary['p99_seconds']:7.2f} ms | "
+                f"hits {summary['cache_hit_fraction']:4.0%}, "
+                f"subsumed {summary['subsumption_fraction']:4.0%}, "
+                f"rejected {summary['rejected']:.0f}"
+            )
+        snapshot = service.stats()
+    finally:
+        service.close()
+        store.executor.close()
+    cache = snapshot.get("cache", {})
+    if cache:
+        print(
+            f"semantic cache: {cache['entries']:.0f} entries, "
+            f"{cache['used_bytes'] / (1 << 10):.0f} KiB resident, "
+            f"{cache['evictions']:.0f} evictions, "
+            f"{cache['footprints']:.0f} footprints"
+        )
+    counts = snapshot["counts"]
+    print(
+        f"outcomes: {counts['completed']} completed, "
+        f"{counts['rejected']} rejected, {counts['failed']} failed, "
+        f"{counts['degraded']} degraded"
+    )
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workload.benchserve import (
+        ServeBenchConfig,
+        render_serve_report,
+        run_serve_bench,
+    )
+
+    config = ServeBenchConfig(
+        rows=args.rows,
+        concurrencies=tuple(int(c) for c in args.concurrencies.split(",")),
+        n_sessions=args.sessions,
+        clicks_per_session=args.clicks,
+        queries_per_click=args.queries_per_click,
+        n_tenants=args.tenants,
+        executor=args.executor,
+        service_workers=args.workers,
+    )
+    report = run_serve_bench(config)
+    print("\n".join(render_serve_report(report)))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -515,6 +618,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(p_demo)
     p_demo.set_defaults(func=cmd_demo)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant serving demo: replay drill-down sessions "
+        "through the query service (admission, fair scheduling, "
+        "semantic result cache)",
+    )
+    p_serve.add_argument("--rows", type=int, default=60_000)
+    p_serve.add_argument("--sessions", type=int, default=12)
+    p_serve.add_argument("--clicks", type=int, default=3)
+    p_serve.add_argument("--queries-per-click", type=int, default=6)
+    p_serve.add_argument("--tenants", type=int, default=6)
+    p_serve.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop client threads"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="service dispatch workers"
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64, help="per-tenant queue bound"
+    )
+    p_serve.add_argument(
+        "--executor",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="engine execution strategy under the service",
+    )
+    p_serve.add_argument(
+        "--passes",
+        type=int,
+        default=2,
+        help="trace replays (pass 2+ exercises the warm cache)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
     p_bench = sub.add_parser("bench", help="run a built-in benchmark")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
     p_scan = bench_sub.add_parser(
@@ -587,6 +724,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON report here"
     )
     p_advisor_bench.set_defaults(func=cmd_bench_advisor)
+
+    p_serve_bench = bench_sub.add_parser(
+        "serve",
+        help="QPS and tail-latency sweep over the multi-tenant query "
+        "service (cold/warm cache, open-loop shedding point)",
+    )
+    p_serve_bench.add_argument("--rows", type=int, default=60_000)
+    p_serve_bench.add_argument(
+        "--concurrencies",
+        default="1,2,4",
+        help="comma-separated closed-loop client counts",
+    )
+    p_serve_bench.add_argument("--sessions", type=int, default=12)
+    p_serve_bench.add_argument("--clicks", type=int, default=3)
+    p_serve_bench.add_argument("--queries-per-click", type=int, default=6)
+    p_serve_bench.add_argument("--tenants", type=int, default=6)
+    p_serve_bench.add_argument(
+        "--executor",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="engine execution strategy under the service",
+    )
+    p_serve_bench.add_argument(
+        "--workers", type=int, default=2, help="service dispatch workers"
+    )
+    p_serve_bench.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_serve_bench.set_defaults(func=cmd_bench_serve)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -435,6 +435,13 @@ class DataStore:
             options.cache_policy, options.cache_capacity_bytes
         )
         self._cache_lock = threading.Lock()
+        # Serializes field materialization (ensure_field /
+        # ensure_composite_field mutate the field namespace). Reentrant
+        # because composite materialization resolves member specs while
+        # holding it. Concurrent queries from the serving layer hit
+        # this on their ensure() path; steady-state lookups only touch
+        # already-materialized names, so contention is first-query-only.
+        self._field_lock = threading.RLock()
         self._original_fields = [
             name for name, store in fields.items() if not store.virtual
         ]
@@ -650,6 +657,7 @@ class DataStore:
         runtime = {
             "executor",
             "_cache_lock",
+            "_field_lock",
             "_chunk_cache",
             "_arena",
             "_arena_handle",
@@ -664,6 +672,7 @@ class DataStore:
             clone.options.supervision(),
         )
         clone._cache_lock = threading.Lock()
+        clone._field_lock = threading.RLock()
         clone._chunk_cache = make_cache(
             clone.options.cache_policy, clone.options.cache_capacity_bytes
         )
@@ -688,6 +697,7 @@ class DataStore:
         for key in (
             "executor",
             "_cache_lock",
+            "_field_lock",
             "_chunk_cache",
             "_arena",
             "_arena_handle",
@@ -704,6 +714,7 @@ class DataStore:
             self.options.supervision(),
         )
         self._cache_lock = threading.Lock()
+        self._field_lock = threading.RLock()
         self._chunk_cache = make_cache(
             self.options.cache_policy, self.options.cache_capacity_bytes
         )
@@ -770,33 +781,40 @@ class DataStore:
 
     # -- virtual fields (Section 5 "Complex Expressions") -------------------------
     def ensure_field(self, expr: Expr) -> str:
-        """Return a field name computing ``expr``, materializing if new."""
+        """Return a field name computing ``expr``, materializing if new.
+
+        Thread-safe: materialization mutates the field namespace, so
+        the whole check-then-materialize sequence runs under
+        ``_field_lock`` — concurrent queries for the same new virtual
+        field materialize it exactly once.
+        """
         if isinstance(expr, FieldRef):
             self.field(expr.name)
             return expr.name
-        if isinstance(expr, Literal):
-            return self._materialize_constant(expr)
-        key = expr.sql()
-        existing = self._virtual_by_sql.get(key)
-        if existing is not None:
-            return existing
-        for node in walk(expr):
-            if isinstance(node, (Aggregate, Star)):
-                raise UnsupportedQueryError(
-                    f"cannot materialize aggregate expression {key}"
-                )
-        refs = sorted(referenced_fields(expr))
-        for ref in refs:
-            self.field(ref)
-        if not refs:
-            return self._materialize_constant(expr)
-        if len(refs) == 1:
-            name = self._materialize_single(expr, refs[0])
-        else:
-            name = self._materialize_multi(expr, refs)
-        self._virtual_by_sql[key] = name
-        self._virtual_specs[name] = ("expr", expr)
-        return name
+        with self._field_lock:
+            if isinstance(expr, Literal):
+                return self._materialize_constant(expr)
+            key = expr.sql()
+            existing = self._virtual_by_sql.get(key)
+            if existing is not None:
+                return existing
+            for node in walk(expr):
+                if isinstance(node, (Aggregate, Star)):
+                    raise UnsupportedQueryError(
+                        f"cannot materialize aggregate expression {key}"
+                    )
+            refs = sorted(referenced_fields(expr))
+            for ref in refs:
+                self.field(ref)
+            if not refs:
+                return self._materialize_constant(expr)
+            if len(refs) == 1:
+                name = self._materialize_single(expr, refs[0])
+            else:
+                name = self._materialize_multi(expr, refs)
+            self._virtual_by_sql[key] = name
+            self._virtual_specs[name] = ("expr", expr)
+            return name
 
     def field_spec(self, name: str) -> tuple:
         """A name-independent recipe for re-deriving field ``name``.
@@ -922,6 +940,12 @@ class DataStore:
         additional 'virtual' column."
         """
         key = "__tuple(" + ", ".join(member_names) + ")"
+        with self._field_lock:
+            return self._ensure_composite_locked(key, member_names)
+
+    def _ensure_composite_locked(
+        self, key: str, member_names: list[str]
+    ) -> str:
         existing = self._virtual_by_sql.get(key)
         if existing is not None:
             return existing
@@ -988,8 +1012,24 @@ class DataStore:
         )
 
     # -- query execution -------------------------------------------------------------
-    def execute(self, query: Query | str) -> QueryResult:
-        """Run a query, returning its result table and scan statistics."""
+    def execute(
+        self,
+        query: Query | str,
+        *,
+        candidate_chunks: "Iterable[int] | None" = None,
+    ) -> QueryResult:
+        """Run a query, returning its result table and scan statistics.
+
+        ``candidate_chunks`` is the serving layer's subsumption hook: a
+        set of chunk indices that provably covers every chunk this
+        query's restriction can touch (e.g. a cached parent query's
+        ``ScanStats.active_chunks`` when this WHERE refines the
+        parent's). Chunks outside the set are counted as skipped
+        without even consulting the restriction — sound only when the
+        caller guarantees they would have been SKIP decisions, in which
+        case the result and its scan statistics are bit-identical to an
+        unpruned execution.
+        """
         started = time.perf_counter()
         parsed = parse_query(query) if isinstance(query, str) else query
         if parsed.table != self.options.table_name:
@@ -1017,10 +1057,17 @@ class DataStore:
             lambda name, index: self.field(name).element_array(index),
         )
 
+        candidates = (
+            None if candidate_chunks is None else frozenset(candidate_chunks)
+        )
         if is_aggregation_query(parsed):
-            rows = self._execute_grouped(parsed, restriction, ensure, stats)
+            rows = self._execute_grouped(
+                parsed, restriction, ensure, stats, candidates
+            )
         else:
-            rows = self._execute_projection(parsed, restriction, ensure, stats)
+            rows = self._execute_projection(
+                parsed, restriction, ensure, stats, candidates
+            )
 
         table = finalize(rows, parsed)
         stats.fields_accessed = tuple(sorted(accessed))
@@ -1046,12 +1093,15 @@ class DataStore:
         )
 
     # -- grouped path ----------------------------------------------------------------
-    def _aggregate_query(self, parsed, restriction, ensure, stats):
+    def _aggregate_query(
+        self, parsed, restriction, ensure, stats, candidates=None
+    ):
         """Run the chunk loop; returns everything needed to finalize.
 
         Shared by local execution (:meth:`_execute_grouped`) and the
         distributed layer's partial execution
-        (:meth:`execute_partials`).
+        (:meth:`execute_partials`). ``candidates`` prunes the chunk
+        loop to a proven-sound footprint (see :meth:`execute`).
         """
         plan = plan_group_query(parsed)
         group_exprs = list(plan.group_exprs)
@@ -1094,13 +1144,19 @@ class DataStore:
         phase_started = time.perf_counter()
         ready: list[tuple[int, Any]] = []  # (chunk_index, partials)
         to_scan: list[tuple[int, np.ndarray | None, bool]] = []
+        active: list[int] = []
         for chunk_index in range(self.n_chunks):
             chunk_rows = self.chunk_row_counts[chunk_index]
+            if candidates is not None and chunk_index not in candidates:
+                stats.chunks_skipped += 1
+                stats.rows_skipped += chunk_rows
+                continue
             decision = restriction.decide(chunk_index)
             if decision.status is ChunkStatus.SKIP:
                 stats.chunks_skipped += 1
                 stats.rows_skipped += chunk_rows
                 continue
+            active.append(chunk_index)
             if decision.status is ChunkStatus.FULL:
                 if use_cache:
                     with self._cache_lock:
@@ -1118,6 +1174,7 @@ class DataStore:
                 to_scan.append((chunk_index, decision.row_mask, False))
             stats.chunks_scanned += 1
             stats.rows_scanned += chunk_rows
+        stats.active_chunks = tuple(active)
         stats.restriction_seconds += time.perf_counter() - phase_started
 
         # Phase 2: fan the pure per-chunk partial computation out over
@@ -1195,9 +1252,13 @@ class DataStore:
             present = presence.counts > 0
         return plan, group_exprs, group_field, presence, aggregators, present
 
-    def _execute_grouped(self, parsed, restriction, ensure, stats):
+    def _execute_grouped(
+        self, parsed, restriction, ensure, stats, candidates=None
+    ):
         plan, group_exprs, group_field, presence, aggregators, present = (
-            self._aggregate_query(parsed, restriction, ensure, stats)
+            self._aggregate_query(
+                parsed, restriction, ensure, stats, candidates
+            )
         )
         agg_order = list(plan.aggregates)
         plan_items = list(plan.items)
@@ -1325,20 +1386,28 @@ class DataStore:
         return partials
 
     # -- projection path -----------------------------------------------------------
-    def _execute_projection(self, parsed, restriction, ensure, stats):
+    def _execute_projection(
+        self, parsed, restriction, ensure, stats, candidates=None
+    ):
         phase_started = time.perf_counter()
         item_fields = [
             (item.output_name(), ensure(item.expr)) for item in parsed.select
         ]
         names = [name for name, __ in item_fields]
         rows: list[dict[str, Any]] = []
+        active: list[int] = []
         for chunk_index in range(self.n_chunks):
             chunk_rows = self.chunk_row_counts[chunk_index]
+            if candidates is not None and chunk_index not in candidates:
+                stats.chunks_skipped += 1
+                stats.rows_skipped += chunk_rows
+                continue
             decision = restriction.decide(chunk_index)
             if decision.status is ChunkStatus.SKIP:
                 stats.chunks_skipped += 1
                 stats.rows_skipped += chunk_rows
                 continue
+            active.append(chunk_index)
             stats.chunks_scanned += 1
             stats.rows_scanned += chunk_rows
             # Materialize each output column once for the whole chunk
@@ -1354,6 +1423,7 @@ class DataStore:
             rows.extend(
                 dict(zip(names, values)) for values in zip(*column_values)
             )
+        stats.active_chunks = tuple(active)
         stats.projection_seconds += time.perf_counter() - phase_started
         return rows
 

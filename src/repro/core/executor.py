@@ -52,6 +52,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor as _ProcessPool
@@ -275,12 +276,19 @@ class ParallelExecutor(ExecutionStrategy):
             workers if workers is not None else default_worker_count(max_workers)
         )
         self._pool: _ThreadPool | None = None
+        self._pool_init_lock = threading.Lock()
 
     def _ensure_pool(self) -> _ThreadPool:
+        # Double-checked under a lock: the serving layer runs queries
+        # from several dispatch threads, and an unguarded lazy init
+        # would spin up (and leak) one pool per racing caller.
         if self._pool is None:
-            self._pool = _ThreadPool(
-                max_workers=self.workers, thread_name_prefix="repro-scan"
-            )
+            with self._pool_init_lock:
+                if self._pool is None:
+                    self._pool = _ThreadPool(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-scan",
+                    )
         return self._pool
 
     def map_ordered(
@@ -319,11 +327,13 @@ class ParallelExecutor(ExecutionStrategy):
         """
         state = dict(self.__dict__)
         state["_pool"] = None
+        state.pop("_pool_init_lock", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._pool = None
+        self._pool_init_lock = threading.Lock()
 
     def describe(self) -> str:
         return f"parallel({self.workers})"

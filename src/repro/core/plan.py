@@ -13,7 +13,9 @@ aggregates (``SUM(x) / COUNT(*)``) behave identically everywhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
 
 from repro.errors import UnsupportedQueryError
 from repro.sql.ast_nodes import (
@@ -130,3 +132,121 @@ def resolve_group_aliases(query: Query) -> Query:
         order_by=query.order_by,
         limit=query.limit,
     )
+
+
+# -- canonicalization and fingerprints -----------------------------------------
+#
+# The serving layer's semantic result cache keys on *canonical* query
+# plans so that semantically identical queries share one cache entry.
+# Only transformations that provably preserve results are applied:
+#
+# - nested AND/OR chains are flattened, deduplicated, and sorted by
+#   canonical SQL (both connectives are commutative, associative and
+#   idempotent under SQL's three-valued logic, and the restriction
+#   compiler's conjunction summary is symmetric);
+# - IN lists are sorted with a type-tagged key and deduplicated
+#   (membership is order- and multiplicity-insensitive);
+# - GROUP BY aliases are resolved (``resolve_group_aliases``), exactly
+#   as the engine itself does before execution.
+#
+# Select items, GROUP BY order, HAVING, ORDER BY and LIMIT are left
+# untouched: their order is load-bearing (output columns, composite
+# group layout, tie-breaks), so reordering them could change results.
+
+
+def _literal_order_key(value: Any) -> tuple[bool, str, str]:
+    """A deterministic total order over heterogeneous literal values."""
+    return (value is not None, value.__class__.__name__, repr(value))
+
+
+def _flatten_connective(op: str, expr: Expr) -> Iterator[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == op:
+        yield from _flatten_connective(op, expr.left)
+        yield from _flatten_connective(op, expr.right)
+    else:
+        yield expr
+
+
+def canonical_expr(expr: Expr) -> Expr:
+    """Rewrite ``expr`` into its canonical, semantics-preserving form."""
+    if isinstance(expr, BinaryOp) and expr.op in ("AND", "OR"):
+        parts = [
+            canonical_expr(part)
+            for part in _flatten_connective(expr.op, expr)
+        ]
+        unique: dict[str, Expr] = {}
+        for part in parts:
+            unique.setdefault(part.sql(), part)
+        ordered = [unique[rendered] for rendered in sorted(unique)]
+        folded = ordered[0]
+        for nxt in ordered[1:]:
+            folded = BinaryOp(expr.op, folded, nxt)
+        return folded
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, canonical_expr(expr.left), canonical_expr(expr.right)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, canonical_expr(expr.operand))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name, tuple(canonical_expr(arg) for arg in expr.args)
+        )
+    if isinstance(expr, InList):
+        unique_values: dict[tuple[bool, str, str], Any] = {}
+        for value in expr.values:
+            unique_values.setdefault(_literal_order_key(value), value)
+        ordered_values = tuple(
+            unique_values[key] for key in sorted(unique_values)
+        )
+        return InList(
+            canonical_expr(expr.operand), ordered_values, expr.negated
+        )
+    if isinstance(expr, Aggregate):
+        return Aggregate(
+            expr.name,
+            canonical_expr(expr.arg),
+            expr.distinct,
+            expr.approximate,
+            expr.m,
+        )
+    return expr
+
+
+def canonical_query(query: Query) -> Query:
+    """The canonical form of ``query`` used for semantic cache keying.
+
+    Executing the canonical query is bit-identical to executing the
+    original: only the WHERE clause is rewritten (commutative /
+    idempotent transformations), and GROUP BY aliases are resolved the
+    same way :meth:`DataStore.execute` resolves them.
+    """
+    resolved = resolve_group_aliases(query)
+    if resolved.where is None:
+        return resolved
+    return replace(resolved, where=canonical_expr(resolved.where))
+
+
+def where_conjuncts(query: Query) -> tuple[str, ...]:
+    """The canonical WHERE, split into its sorted top-level conjuncts.
+
+    A drill-down refinement's conjunct set is a superset of its
+    parent's — the subset relation over these tuples is what the
+    serving cache's subsumption reuse keys on. Queries without a WHERE
+    return the empty tuple (the unrestricted footprint).
+    """
+    canonical = canonical_query(query)
+    if canonical.where is None:
+        return ()
+    return tuple(
+        sorted(
+            part.sql()
+            for part in _flatten_connective("AND", canonical.where)
+        )
+    )
+
+
+def query_fingerprint(query: Query) -> str:
+    """A stable content hash of the canonical query plan."""
+    rendered = canonical_query(query).sql()
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

@@ -14,6 +14,7 @@ rule, so any query produces byte-identical result tables everywhere.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -53,6 +54,11 @@ class ScanStats:
     # the answer is partial; QueryResult.row_coverage accounts exactly.
     chunks_unserved: int = 0
     rows_unserved: int = 0
+    # The chunk indices the compiled restriction could NOT prove away
+    # (every FULL/PARTIAL decision, served or not). Any refinement of
+    # this query's WHERE can only touch a subset of these chunks — the
+    # serving layer's subsumption reuse rescans just this footprint.
+    active_chunks: tuple[int, ...] = ()
     fields_accessed: tuple[str, ...] = ()
     memory_bytes: int = 0
     # Per-phase wall-clock (seconds): restriction analysis + cache
@@ -91,6 +97,9 @@ class ScanStats:
             cells_scanned=self.cells_scanned + other.cells_scanned,
             chunks_unserved=self.chunks_unserved + other.chunks_unserved,
             rows_unserved=self.rows_unserved + other.rows_unserved,
+            active_chunks=tuple(
+                sorted(set(self.active_chunks) | set(other.active_chunks))
+            ),
             fields_accessed=tuple(
                 sorted(set(self.fields_accessed) | set(other.fields_accessed))
             ),
@@ -132,6 +141,31 @@ class QueryResult:
     @property
     def column_names(self) -> list[str]:
         return self.table.field_names
+
+    def content_fingerprint(self) -> str:
+        """A stable hash of the result *content* (schema + rows).
+
+        Rows are hashed in canonical sorted order with type-tagged
+        cells, so two results fingerprint equal iff they hold the same
+        column names and the same multiset of rows — independent of
+        backend, executor, caching, or row order. Execution metadata
+        (stats, timings, coverage) is deliberately excluded.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(repr(self.column_names).encode("utf-8"))
+        for row in self.sorted_rows():
+            tagged = tuple(
+                (value.__class__.__name__, repr(value)) for value in row
+            )
+            hasher.update(repr(tagged).encode("utf-8"))
+        return hasher.hexdigest()
+
+    def content_equal(self, other: "QueryResult") -> bool:
+        """Whether two results hold identical content (schema + rows)."""
+        return (
+            self.column_names == other.column_names
+            and self.content_fingerprint() == other.content_fingerprint()
+        )
 
 
 # -- output expression resolution ---------------------------------------------

@@ -89,5 +89,16 @@ class TableError(ReproError):
     """An in-memory table was constructed or accessed incorrectly."""
 
 
+class ServiceError(ReproError):
+    """The multi-tenant serving layer was misconfigured or misused.
+
+    Raised for invalid :class:`~repro.service.ServiceConfig` values,
+    submissions to a closed :class:`~repro.service.QueryService`, and
+    ticket waits that exceed their timeout. Load shedding is *not* an
+    error: over-admission returns an explicit
+    :class:`~repro.service.QueryRejected` outcome instead.
+    """
+
+
 class AnalysisError(ReproError):
     """The lint/fsck tooling was misconfigured or given bad input."""

@@ -17,9 +17,13 @@ has one place to read activity from.
 from __future__ import annotations
 
 import math
+import random
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.result import QueryResult, ScanStats
+from repro.errors import ReproError
 
 
 class CounterRegistry:
@@ -28,26 +32,37 @@ class CounterRegistry:
     A deliberately tiny stand-in for a production metrics client:
     ``increment`` never fails on unknown names, ``snapshot`` returns a
     stable copy for reporting, and ``reset`` exists for tests.
+
+    Thread-safe: ``increment`` is a read-modify-write, and the serving
+    layer bumps counters from many dispatch threads at once — without
+    the lock, concurrent increments interleave and silently drop
+    counts. ``snapshot``/``reset`` take the same lock so a snapshot is
+    a consistent point-in-time view, never a half-applied update.
     """
 
     def __init__(self) -> None:
         self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to ``name`` (creating it at 0), return the total."""
-        total = self._counts.get(name, 0) + amount
-        self._counts[name] = total
-        return total
+        with self._lock:
+            total = self._counts.get(name, 0) + amount
+            self._counts[name] = total
+            return total
 
     def get(self, name: str) -> int:
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     def snapshot(self) -> dict[str, int]:
-        """A sorted copy of every counter's current value."""
-        return dict(sorted(self._counts.items()))
+        """A sorted, consistent copy of every counter's current value."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
 
     def reset(self) -> None:
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
 
 #: The process-wide counter registry.
@@ -66,7 +81,14 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
 
 @dataclass
 class QueryLogCollector:
-    """Accumulates per-query statistics into production-style totals."""
+    """Accumulates per-query statistics into production-style totals.
+
+    Latency memory is bounded for long-running services: all-time
+    percentiles come from a seeded reservoir sample (Vitter's
+    Algorithm R — exact until ``reservoir_capacity`` queries, an
+    unbiased uniform sample after), and rolling percentiles come from a
+    fixed-size window over the most recent ``window_capacity`` queries.
+    """
 
     n_queries: int = 0
     rows_total: int = 0
@@ -76,7 +98,18 @@ class QueryLogCollector:
     cells_touched: int = 0
     disk_bytes: int = 0
     in_memory_queries: int = 0
+    reservoir_capacity: int = 4096
+    window_capacity: int = 512
     _latencies: list[float] = field(default_factory=list)
+    _window: deque = field(default_factory=deque)
+    _rng: random.Random = field(default_factory=lambda: random.Random(0x5EED))
+
+    def __post_init__(self) -> None:
+        if self.reservoir_capacity < 1:
+            raise ReproError("reservoir_capacity must be >= 1")
+        if self.window_capacity < 1:
+            raise ReproError("window_capacity must be >= 1")
+        self._window = deque(self._window, maxlen=self.window_capacity)
 
     def record(
         self,
@@ -95,9 +128,18 @@ class QueryLogCollector:
         self.disk_bytes += disk_bytes
         if disk_bytes == 0:
             self.in_memory_queries += 1
-        self._latencies.append(
+        latency = (
             result.elapsed_seconds if latency_seconds is None else latency_seconds
         )
+        self._window.append(latency)
+        if len(self._latencies) < self.reservoir_capacity:
+            self._latencies.append(latency)
+        else:
+            # Algorithm R: the i-th value replaces a reservoir slot
+            # with probability capacity/i, keeping the sample uniform.
+            slot = self._rng.randrange(self.n_queries)
+            if slot < self.reservoir_capacity:
+                self._latencies[slot] = latency
 
     # -- derived quantities ---------------------------------------------------
     @property
@@ -117,12 +159,28 @@ class QueryLogCollector:
         return self.in_memory_queries / self.n_queries if self.n_queries else 0.0
 
     def latency_percentiles(self) -> dict[str, float]:
+        """All-time percentiles (exact below ``reservoir_capacity``)."""
         ordered = sorted(self._latencies)
         return {
             "p50": percentile(ordered, 0.50),
             "p90": percentile(ordered, 0.90),
             "p99": percentile(ordered, 0.99),
             "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        }
+
+    def windowed_percentiles(self) -> dict[str, float]:
+        """Rolling percentiles over the most recent queries.
+
+        Covers exactly the last ``min(n_queries, window_capacity)``
+        recorded latencies — the number is reported as ``window`` so
+        dashboards can tell a cold window from a full one.
+        """
+        ordered = sorted(self._window)
+        return {
+            "window": float(len(ordered)),
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
         }
 
     def report(self) -> str:

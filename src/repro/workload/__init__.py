@@ -14,6 +14,7 @@ from repro.workload.queries import (
     QUERY_1,
     QUERY_2,
     QUERY_3,
+    generate_drilldown_session_groups,
     generate_drilldown_sessions,
     paper_queries,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "QUERY_1",
     "QUERY_2",
     "QUERY_3",
+    "generate_drilldown_session_groups",
     "generate_drilldown_sessions",
     "generate_query_logs",
     "paper_queries",

@@ -1,0 +1,461 @@
+"""Closed/open-loop load drivers for the serving layer (`bench serve`).
+
+Replays :func:`~repro.workload.queries.generate_drilldown_session_groups`
+traffic against a :class:`~repro.service.QueryService` the way the
+paper's Web UI generates it: every session belongs to a tenant drawn
+from a Zipfian popularity distribution (a few analysts dominate), and
+clicks from concurrent sessions interleave.
+
+Two driver shapes, the standard serving-bench duo:
+
+- **closed loop** — ``concurrency`` clients each submit one query and
+  wait for its outcome before the next: throughput adapts to service
+  speed, measuring sustainable QPS at a given offered concurrency.
+- **open loop** — queries are submitted on a fixed arrival schedule
+  regardless of completions: latency under a target arrival rate,
+  including queueing and shedding when the service saturates.
+
+All pacing uses bounded waits on a never-set Event (no sleeps), so the
+drivers obey the same discipline as the service itself.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.table import Table
+from repro.errors import ReproError
+from repro.monitoring import percentile
+from repro.service.service import (
+    QueryCompleted,
+    QueryFailed,
+    QueryOutcome,
+    QueryRejected,
+    QueryService,
+    ServiceConfig,
+)
+from repro.workload.generator import LogsConfig, generate_query_logs
+from repro.workload.queries import (
+    DrillDownConfig,
+    generate_drilldown_session_groups,
+)
+
+
+@dataclass(frozen=True)
+class TenantMixConfig:
+    """How simulated sessions distribute over tenants."""
+
+    n_tenants: int = 6
+    zipf_s: float = 1.2
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ReproError("n_tenants must be >= 1")
+        if self.zipf_s < 0:
+            raise ReproError("zipf_s must be >= 0")
+
+
+def zipf_tenant_weights(n_tenants: int, s: float) -> list[float]:
+    """Normalized Zipf weights: tenant rank ``r`` gets ``1 / r**s``."""
+    raw = [1.0 / (rank**s) for rank in range(1, n_tenants + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def assign_sessions_to_tenants(
+    n_sessions: int, mix: TenantMixConfig
+) -> list[str]:
+    """A seeded Zipfian tenant label for each session index."""
+    tenants = [f"tenant-{rank:02d}" for rank in range(mix.n_tenants)]
+    weights = zipf_tenant_weights(mix.n_tenants, mix.zipf_s)
+    rng = random.Random(mix.seed)
+    return rng.choices(tenants, weights=weights, k=n_sessions)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query of the replayed trace, already labelled for serving."""
+
+    tenant: str
+    session: str
+    sql: str
+
+
+def build_serve_trace(
+    table: Table,
+    drill: DrillDownConfig | None = None,
+    mix: TenantMixConfig | None = None,
+) -> list[ServeRequest]:
+    """The drill-down trace, tenant-labelled and interleaved by click.
+
+    Clicks are emitted breadth-first (every session's first click, then
+    every session's second, ...) so concurrent sessions overlap the way
+    real UI traffic does instead of replaying one user at a time.
+    """
+    drill = drill or DrillDownConfig()
+    mix = mix or TenantMixConfig()
+    sessions = generate_drilldown_session_groups(table, drill)
+    tenants = assign_sessions_to_tenants(len(sessions), mix)
+    trace: list[ServeRequest] = []
+    max_clicks = max((len(session) for session in sessions), default=0)
+    for click_index in range(max_clicks):
+        for session_index, session in enumerate(sessions):
+            if click_index >= len(session):
+                continue
+            for sql in session[click_index]:
+                trace.append(
+                    ServeRequest(
+                        tenant=tenants[session_index],
+                        session=f"session-{session_index:03d}",
+                        sql=sql,
+                    )
+                )
+    return trace
+
+
+def run_closed_loop(
+    service: QueryService,
+    trace: list[ServeRequest],
+    concurrency: int,
+    timeout_per_query: float = 120.0,
+) -> tuple[list[QueryOutcome], float]:
+    """Replay ``trace`` with ``concurrency`` synchronous clients.
+
+    Returns one outcome per trace entry (same order) and the wall-clock
+    seconds the replay took.
+    """
+    if concurrency < 1:
+        raise ReproError("concurrency must be >= 1")
+    outcomes: list[QueryOutcome | None] = [None] * len(trace)
+    cursor_lock = threading.Lock()
+    cursor = [0]
+
+    def client() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor[0]
+                if index >= len(trace):
+                    return
+                cursor[0] = index + 1
+            request = trace[index]
+            outcomes[index] = service.run(
+                request.tenant,
+                request.sql,
+                session=request.session,
+                timeout=timeout_per_query,
+            )
+
+    started = time.perf_counter()
+    clients = [
+        threading.Thread(
+            target=client, name=f"repro-client-{i}", daemon=True
+        )
+        for i in range(concurrency)
+    ]
+    for thread in clients:
+        thread.start()
+    per_client_budget = timeout_per_query * (len(trace) + 1)
+    for thread in clients:
+        thread.join(per_client_budget)
+    elapsed = time.perf_counter() - started
+    if any(outcome is None for outcome in outcomes):
+        raise ReproError("closed-loop replay did not complete every query")
+    return [outcome for outcome in outcomes if outcome is not None], elapsed
+
+
+def run_open_loop(
+    service: QueryService,
+    trace: list[ServeRequest],
+    rate_qps: float,
+    timeout_per_query: float = 120.0,
+) -> tuple[list[QueryOutcome], float]:
+    """Replay ``trace`` on a fixed arrival schedule of ``rate_qps``.
+
+    Submissions never wait for completions (open loop); outcomes are
+    collected afterwards. Shed queries appear as ``QueryRejected``.
+    """
+    if rate_qps <= 0:
+        raise ReproError("rate_qps must be positive")
+    pacer = threading.Event()  # never set: a bounded, interruptible timer
+    tickets = []
+    started = time.perf_counter()
+    for index, request in enumerate(trace):
+        target = started + index / rate_qps
+        while True:
+            remaining = target - time.perf_counter()
+            if remaining <= 0:
+                break
+            pacer.wait(remaining)
+        tickets.append(
+            service.submit(
+                request.tenant, request.sql, session=request.session
+            )
+        )
+    outcomes = [ticket.outcome(timeout_per_query) for ticket in tickets]
+    elapsed = time.perf_counter() - started
+    return outcomes, elapsed
+
+
+def summarize_outcomes(
+    outcomes: list[QueryOutcome], wall_seconds: float
+) -> dict[str, float]:
+    """QPS, tail latencies and exact outcome accounting for one replay."""
+    completed = [o for o in outcomes if isinstance(o, QueryCompleted)]
+    rejected = [o for o in outcomes if isinstance(o, QueryRejected)]
+    failed = [o for o in outcomes if isinstance(o, QueryFailed)]
+    latencies = sorted(o.total_seconds for o in completed)
+    cache_hits = sum(1 for o in completed if o.cache_path == "hit")
+    subsumed = sum(1 for o in completed if o.cache_path == "subsumption")
+    degraded = sum(1 for o in completed if not o.result.complete)
+    return {
+        "queries": float(len(outcomes)),
+        "completed": float(len(completed)),
+        "rejected": float(len(rejected)),
+        "failed": float(len(failed)),
+        "degraded": float(degraded),
+        "wall_seconds": wall_seconds,
+        "qps": len(completed) / wall_seconds if wall_seconds > 0 else 0.0,
+        "p50_seconds": percentile(latencies, 0.50),
+        "p95_seconds": percentile(latencies, 0.95),
+        "p99_seconds": percentile(latencies, 0.99),
+        "mean_seconds": (
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        "cache_hit_fraction": (
+            cache_hits / len(completed) if completed else 0.0
+        ),
+        "subsumption_fraction": (
+            subsumed / len(completed) if completed else 0.0
+        ),
+    }
+
+
+# -- the `bench serve` runner ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Knobs for one serving-benchmark run."""
+
+    rows: int = 60_000
+    concurrencies: tuple[int, ...] = (1, 2, 4)
+    n_sessions: int = 12
+    clicks_per_session: int = 3
+    queries_per_click: int = 6
+    n_tenants: int = 6
+    zipf_s: float = 1.2
+    executor: str = "thread"
+    service_workers: int = 2
+    queue_depth: int = 64
+    max_inflight_per_tenant: int = 2
+    open_loop_queue_depth: int = 4
+    chunk_rows: int | None = None
+    verify_every: int = 7
+    seed: int = 2012
+
+    def effective_chunk_rows(self) -> int:
+        if self.chunk_rows is not None:
+            return self.chunk_rows
+        return max(256, self.rows // 24)
+
+    def drill(self) -> DrillDownConfig:
+        return DrillDownConfig(
+            n_sessions=self.n_sessions,
+            clicks_per_session=self.clicks_per_session,
+            queries_per_click=self.queries_per_click,
+            seed=self.seed,
+        )
+
+    def mix(self) -> TenantMixConfig:
+        return TenantMixConfig(
+            n_tenants=self.n_tenants, zipf_s=self.zipf_s, seed=self.seed
+        )
+
+
+def _bench_table(config: ServeBenchConfig) -> Table:
+    return generate_query_logs(
+        LogsConfig(
+            n_rows=config.rows,
+            n_days=min(92, max(14, config.rows // 4000)),
+            n_teams=min(40, max(8, config.rows // 3000)),
+            seed=config.seed,
+        )
+    )
+
+
+def _bench_store(table: Table, config: ServeBenchConfig) -> DataStore:
+    return DataStore.from_table(
+        table,
+        DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=config.effective_chunk_rows(),
+            reorder_rows=True,
+            executor=config.executor,
+        ),
+    )
+
+
+def _service_config(config: ServeBenchConfig, **overrides: Any) -> ServiceConfig:
+    params: dict[str, Any] = {
+        "workers": config.service_workers,
+        "queue_depth": config.queue_depth,
+        "max_inflight_per_tenant": config.max_inflight_per_tenant,
+    }
+    params.update(overrides)
+    return ServiceConfig(**params)
+
+
+def verify_serving_correctness(
+    store: DataStore,
+    outcomes: list[QueryOutcome],
+    verify_every: int = 7,
+) -> dict[str, int]:
+    """Compare a deterministic sample of served results to direct runs.
+
+    Every ``verify_every``-th completed outcome's result is re-executed
+    straight on the store; content fingerprints must match exactly —
+    the serving layer's cache and subsumption reuse may never change an
+    answer. Returns checked/mismatch counts (mismatches must be zero).
+    """
+    completed = [o for o in outcomes if isinstance(o, QueryCompleted)]
+    checked = 0
+    mismatches = 0
+    for index in range(0, len(completed), max(1, verify_every)):
+        outcome = completed[index]
+        direct = store.execute(outcome.sql)
+        checked += 1
+        if not direct.content_equal(outcome.result):
+            mismatches += 1
+    return {"checked": checked, "mismatches": mismatches}
+
+
+def run_serve_bench(config: ServeBenchConfig | None = None) -> dict[str, Any]:
+    """Run the serving sweep; returns the JSON-ready trajectory point.
+
+    Per offered concurrency: a **cold** closed-loop replay (empty
+    semantic cache — subsumption reuse inside drill-down sessions is
+    the only help) then a **warm** replay of the same trace on the same
+    service (exact canonical-plan hits). A final open-loop pass at an
+    arrival rate above the measured cold throughput, against a service
+    with a deliberately shallow queue, demonstrates explicit load
+    shedding with exact accounting.
+    """
+    config = config or ServeBenchConfig()
+    table = _bench_table(config)
+    store = _bench_store(table, config)
+    trace = build_serve_trace(table, config.drill(), config.mix())
+    tenant_counts: dict[str, int] = {}
+    for request in trace:
+        tenant_counts[request.tenant] = (
+            tenant_counts.get(request.tenant, 0) + 1
+        )
+    report: dict[str, Any] = {
+        "bench": "serving",
+        "rows": config.rows,
+        "chunk_rows": config.effective_chunk_rows(),
+        "chunks": store.n_chunks,
+        "executor": config.executor,
+        "service_workers": config.service_workers,
+        "cpu_count": os.cpu_count(),
+        "trace_queries": len(trace),
+        "tenants": dict(sorted(tenant_counts.items())),
+        "sweep": [],
+    }
+    last_outcomes: list[QueryOutcome] = []
+    for concurrency in config.concurrencies:
+        service = QueryService(store, _service_config(config))
+        try:
+            cold_outcomes, cold_wall = run_closed_loop(
+                service, trace, concurrency
+            )
+            warm_outcomes, warm_wall = run_closed_loop(
+                service, trace, concurrency
+            )
+            snapshot = service.stats()
+        finally:
+            service.close()
+        cold = summarize_outcomes(cold_outcomes, cold_wall)
+        warm = summarize_outcomes(warm_outcomes, warm_wall)
+        report["sweep"].append(
+            {
+                "concurrency": concurrency,
+                "cold": cold,
+                "warm": warm,
+                "warm_p50_speedup": (
+                    cold["p50_seconds"] / warm["p50_seconds"]
+                    if warm["p50_seconds"] > 0
+                    else float("inf")
+                ),
+                "cache": snapshot.get("cache", {}),
+            }
+        )
+        last_outcomes = cold_outcomes + warm_outcomes
+    report["correctness"] = verify_serving_correctness(
+        store, last_outcomes, config.verify_every
+    )
+    # Open-loop shedding point: shallow queues + an arrival rate well
+    # above sustainable throughput -> explicit QueryRejected outcomes.
+    base_qps = max(
+        (point["cold"]["qps"] for point in report["sweep"]), default=1.0
+    )
+    shed_service = QueryService(
+        store,
+        _service_config(config, queue_depth=config.open_loop_queue_depth),
+    )
+    try:
+        shed_outcomes, shed_wall = run_open_loop(
+            shed_service, trace, rate_qps=max(4.0, 4.0 * base_qps)
+        )
+    finally:
+        shed_service.close()
+    report["open_loop"] = summarize_outcomes(shed_outcomes, shed_wall)
+    report["open_loop"]["rate_qps"] = max(4.0, 4.0 * base_qps)
+    store.executor.close()
+    return report
+
+
+def render_serve_report(report: dict[str, Any]) -> list[str]:
+    """Human-readable summary lines for a :func:`run_serve_bench` result."""
+    lines = [
+        f"serving bench — {report['rows']} rows in {report['chunks']} "
+        f"chunks, executor={report['executor']}, "
+        f"{report['service_workers']} dispatch worker(s), "
+        f"{report['cpu_count']} CPU(s)",
+        f"trace: {report['trace_queries']} queries over "
+        f"{len(report['tenants'])} tenants (Zipfian)",
+        "",
+    ]
+    for point in report["sweep"]:
+        cold, warm = point["cold"], point["warm"]
+        lines.append(
+            f"concurrency {point['concurrency']:>2}: "
+            f"cold {cold['qps']:7.1f} q/s "
+            f"(p50 {1000 * cold['p50_seconds']:6.1f} ms, "
+            f"p95 {1000 * cold['p95_seconds']:6.1f} ms, "
+            f"p99 {1000 * cold['p99_seconds']:6.1f} ms, "
+            f"subsumed {cold['subsumption_fraction']:.0%}) | "
+            f"warm {warm['qps']:7.1f} q/s "
+            f"(p50 {1000 * warm['p50_seconds']:6.2f} ms, "
+            f"hits {warm['cache_hit_fraction']:.0%}, "
+            f"speedup {point['warm_p50_speedup']:.1f}x)"
+        )
+    correctness = report["correctness"]
+    lines.append("")
+    lines.append(
+        f"correctness: {correctness['checked']} served results re-checked "
+        f"against direct execution, {correctness['mismatches']} mismatches"
+    )
+    shed = report["open_loop"]
+    lines.append(
+        f"open loop @ {shed['rate_qps']:.1f} q/s arrivals: "
+        f"{shed['completed']:.0f} served, {shed['rejected']:.0f} shed "
+        f"(p95 {1000 * shed['p95_seconds']:.1f} ms)"
+    )
+    return lines

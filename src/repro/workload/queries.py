@@ -72,24 +72,31 @@ def _quote(value) -> str:
     return repr(value)
 
 
-def generate_drilldown_sessions(
+def generate_drilldown_session_groups(
     table: Table, config: DrillDownConfig | None = None
-) -> list[list[str]]:
-    """Generate per-click query batches against ``table``.
+) -> list[list[list[str]]]:
+    """Generate drill-down traffic grouped by session.
 
-    Returns a list of clicks; each click is ~20 SQL queries sharing one
-    WHERE restriction (the current drill-down state) and varying the
-    charted group field / metric — exactly the UI pattern. Restrictions
-    are conjunctions of IN statements over the correlated fields
-    (country, table_name, user_name), deepening within a session.
+    Returns ``sessions -> clicks -> queries``: each session is a
+    sequence of clicks whose WHERE restrictions only ever *gain*
+    conjuncts (the UI's drill-down refinement invariant the serving
+    cache's subsumption reuse relies on); each click is ~20 SQL queries
+    sharing one WHERE and varying the charted group field / metric.
+    Restrictions are conjunctions of IN statements over the correlated
+    fields (country, table_name, user_name).
+
+    Deterministic: one seeded RNG drives the whole trace, consumed in
+    exactly the order of :func:`generate_drilldown_sessions` — the flat
+    view is always the concatenation of these session groups.
     """
     config = config or DrillDownConfig()
     if config.queries_per_click < 1:
         raise ReproError("queries_per_click must be >= 1")
     rng = random.Random(config.seed)
-    clicks: list[list[str]] = []
+    sessions: list[list[list[str]]] = []
     for __ in range(config.n_sessions):
         conjuncts: list[str] = []
+        session: list[list[str]] = []
         for click in range(config.clicks_per_session):
             if click > 0 or rng.random() < 0.7:
                 # Drill down one more step: add an IN restriction.
@@ -113,5 +120,22 @@ def generate_drilldown_sessions(
                     f"SELECT {group} as g, {metric} as m FROM data"
                     f"{where_clause} GROUP BY g ORDER BY m DESC LIMIT 10;"
                 )
-            clicks.append(batch)
-    return clicks
+            session.append(batch)
+        sessions.append(session)
+    return sessions
+
+
+def generate_drilldown_sessions(
+    table: Table, config: DrillDownConfig | None = None
+) -> list[list[str]]:
+    """Generate per-click query batches against ``table`` (flat view).
+
+    The clicks of :func:`generate_drilldown_session_groups`, flattened
+    across sessions in order — sessions are the contiguous blocks of
+    ``clicks_per_session`` clicks.
+    """
+    return [
+        click
+        for session in generate_drilldown_session_groups(table, config)
+        for click in session
+    ]

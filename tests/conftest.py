@@ -42,6 +42,26 @@ def no_leaked_arena_segments():
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_query_services():
+    """Session gate: every QueryService started in the suite is closed.
+
+    A live service holds dispatch threads and a registration in
+    :func:`repro.service.live_services`; one left running after its
+    test keeps daemon threads spinning against a possibly-torn-down
+    store. Tests must close services explicitly (or use them as
+    context managers) — this fixture makes a leak a suite failure.
+    """
+    from repro.service import live_services
+
+    yield
+    leaked = live_services()
+    assert not leaked, (
+        f"test run leaked {len(leaked)} running QueryService(s); "
+        "close() them or use the context-manager form"
+    )
+
+
 @pytest.fixture(scope="session")
 def log_table() -> Table:
     """A small deterministic PowerDrill-style log table."""

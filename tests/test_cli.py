@@ -235,3 +235,48 @@ class TestLintJson:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
         assert payload["findings"] == []
+
+
+class TestServe:
+    def test_serve_demo_replays_and_reports(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--rows", "2000",
+                "--sessions", "2",
+                "--clicks", "2",
+                "--queries-per-click", "2",
+                "--tenants", "2",
+                "--concurrency", "2",
+                "--passes", "2",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cold" in text
+        assert "pass 2" in text
+        assert "semantic cache" in text
+        assert "0 failed" in text
+
+    def test_bench_serve_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "serve.json")
+        code = main(
+            [
+                "bench", "serve",
+                "--rows", "2000",
+                "--concurrencies", "1",
+                "--sessions", "2",
+                "--clicks", "2",
+                "--queries-per-click", "2",
+                "--output", out,
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "serving bench" in text
+        assert "open loop" in text
+        import json
+
+        report = json.loads((tmp_path / "serve.json").read_text())
+        assert report["bench"] == "serving"
+        assert report["correctness"]["mismatches"] == 0

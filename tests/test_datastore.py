@@ -302,3 +302,55 @@ class TestImportStats:
         DataStore.from_table(log_table, DataStoreOptions())
         assert counters.get("datastore.import.runs") == runs + 1
         assert counters.get("datastore.import.rows") == rows + log_table.n_rows
+
+
+class TestCandidateChunkPruning:
+    # The soundness contract the serving layer's subsumption reuse
+    # relies on: executing with candidate_chunks equal to (a superset
+    # of) the query's own active footprint is bit-identical to the
+    # unpruned run — pruned chunks are accounted exactly like directly
+    # SKIPped ones.
+
+    PARENT = (
+        "SELECT country, COUNT(*) as c FROM data "
+        "WHERE latency > 100 GROUP BY country ORDER BY c DESC LIMIT 10;"
+    )
+    CHILD = (
+        "SELECT country, COUNT(*) as c FROM data "
+        "WHERE latency > 100 AND country IN ('FI', 'US') "
+        "GROUP BY country ORDER BY c DESC LIMIT 10;"
+    )
+
+    def test_refinement_pruned_by_parent_footprint(self, log_store):
+        parent = log_store.execute(self.PARENT)
+        direct = log_store.execute(self.CHILD)
+        pruned = log_store.execute(
+            self.CHILD,
+            candidate_chunks=parent.stats.active_chunks,
+        )
+        assert pruned.content_equal(direct)
+        assert pruned.rows() == direct.rows()
+        assert pruned.column_names == direct.column_names
+        # Identical row accounting: every chunk outside the footprint
+        # was provably SKIP for the child too.
+        assert pruned.stats.rows_skipped == direct.stats.rows_skipped
+        assert pruned.stats.rows_scanned == direct.stats.rows_scanned
+        assert pruned.stats.active_chunks == direct.stats.active_chunks
+
+    def test_projection_path_pruned(self, log_store):
+        sql = (
+            "SELECT country, latency FROM data "
+            "WHERE country IN ('FI', 'US') LIMIT 40;"
+        )
+        direct = log_store.execute(sql)
+        pruned = log_store.execute(
+            sql, candidate_chunks=direct.stats.active_chunks
+        )
+        assert pruned.rows() == direct.rows()
+        assert pruned.stats.active_chunks == direct.stats.active_chunks
+
+    def test_empty_footprint_serves_empty_result(self, log_store):
+        result = log_store.execute(self.PARENT, candidate_chunks=())
+        assert result.stats.rows_scanned == 0
+        assert result.stats.rows_skipped == result.stats.rows_total
+        assert result.stats.active_chunks == ()

@@ -47,6 +47,14 @@ def test_gate_includes_bounded_wait_rule():
     assert "REP017" in registered
 
 
+def test_gate_includes_service_queue_rule():
+    # REP019 keeps repro/service/* free of unbounded queues — the
+    # admission-control contract (explicit QueryRejected, never silent
+    # queue growth) is only real while this rule is registered.
+    registered = {rule.code for rule in all_rules()}
+    assert "REP019" in registered
+
+
 def test_concurrency_rules_clean_standalone():
     # Also run the process-parallel certification on its own: a
     # selective run exercises the ProjectRule path (call-graph build,

@@ -66,3 +66,100 @@ class TestCollector:
         assert collector.skip_fraction == 0.0
         assert collector.in_memory_share == 0.0
         assert "queries: 0" in collector.report()
+
+
+class TestCounterRegistryThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        # The pre-fix increment was an unlocked read-modify-write; under
+        # contention (a tiny switch interval maximizes interleavings)
+        # it dropped counts. The locked version must be exact.
+        import sys
+        import threading
+
+        from repro.monitoring import CounterRegistry
+
+        registry = CounterRegistry()
+        n_threads, n_increments = 8, 5_000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda: [
+                        registry.increment("hammered")
+                        for __ in range(n_increments)
+                    ]
+                )
+                for __ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert registry.get("hammered") == n_threads * n_increments
+        assert registry.snapshot()["hammered"] == n_threads * n_increments
+
+    def test_reset_clears(self):
+        from repro.monitoring import CounterRegistry
+
+        registry = CounterRegistry()
+        registry.increment("x", 3)
+        registry.reset()
+        assert registry.get("x") == 0
+        assert registry.snapshot() == {}
+
+
+class TestReservoirAndWindow:
+    def test_reservoir_is_bounded(self, log_store):
+        collector = QueryLogCollector(reservoir_capacity=64)
+        result = log_store.execute(paper_queries()[0])
+        for i in range(1_000):
+            collector.record(result, latency_seconds=float(i + 1))
+        assert collector.n_queries == 1_000
+        assert len(collector._latencies) == 64
+        # The sample stays representative: all-time percentiles remain
+        # inside the observed range.
+        stats = collector.latency_percentiles()
+        assert 1.0 <= stats["p50"] <= 1_000.0
+
+    def test_exact_below_capacity(self, log_store):
+        collector = QueryLogCollector(reservoir_capacity=64)
+        result = log_store.execute(paper_queries()[0])
+        for i in range(10):
+            collector.record(result, latency_seconds=float(i + 1))
+        assert sorted(collector._latencies) == [
+            float(i + 1) for i in range(10)
+        ]
+
+    def test_windowed_percentiles_see_only_recent(self, log_store):
+        collector = QueryLogCollector(window_capacity=4)
+        result = log_store.execute(paper_queries()[0])
+        for i in range(10):
+            collector.record(result, latency_seconds=float(i + 1))
+        windowed = collector.windowed_percentiles()
+        # Window holds the last 4 latencies: 7, 8, 9, 10.
+        assert windowed["window"] == 4
+        assert windowed["p50"] == 8.0
+        assert windowed["p95"] == 10.0
+        assert windowed["p99"] == 10.0
+        # The all-time view still reflects everything recorded.
+        assert collector.latency_percentiles()["p50"] == 5.0
+
+    def test_empty_window(self):
+        collector = QueryLogCollector()
+        assert collector.windowed_percentiles() == {
+            "window": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_capacity_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            QueryLogCollector(reservoir_capacity=0)
+        with pytest.raises(ReproError):
+            QueryLogCollector(window_capacity=0)

@@ -101,3 +101,87 @@ def _walk_fieldrefs(expr):
     from repro.sql.ast_nodes import walk
 
     return [n for n in walk(expr) if isinstance(n, FieldRef)]
+
+
+class TestCanonicalization:
+    # The semantic result cache keys on canonical-plan fingerprints;
+    # these tests pin what "the same query" means.
+
+    def _fp(self, sql: str) -> str:
+        from repro.core.plan import query_fingerprint
+
+        return query_fingerprint(parse_query(sql))
+
+    def test_conjunct_order_invariant(self):
+        assert self._fp(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2"
+        ) == self._fp("SELECT COUNT(*) FROM t WHERE b = 2 AND a = 1")
+
+    def test_in_list_order_and_duplicates_invariant(self):
+        assert self._fp(
+            "SELECT COUNT(*) FROM t WHERE c IN ('x', 'y', 'x')"
+        ) == self._fp("SELECT COUNT(*) FROM t WHERE c IN ('y', 'x')")
+
+    def test_nested_and_flattens(self):
+        assert self._fp(
+            "SELECT COUNT(*) FROM t WHERE (a = 1 AND b = 2) AND c = 3"
+        ) == self._fp(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND (c = 3 AND b = 2)"
+        )
+
+    def test_or_disjunct_order_invariant(self):
+        assert self._fp(
+            "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2"
+        ) == self._fp("SELECT COUNT(*) FROM t WHERE b = 2 OR a = 1")
+
+    def test_different_restrictions_differ(self):
+        assert self._fp(
+            "SELECT COUNT(*) FROM t WHERE a = 1"
+        ) != self._fp("SELECT COUNT(*) FROM t WHERE a = 2")
+
+    def test_select_order_is_load_bearing(self):
+        # Output column order changes the result; canonicalization must
+        # never touch it.
+        assert self._fp("SELECT a, b FROM t") != self._fp(
+            "SELECT b, a FROM t"
+        )
+
+    def test_canonical_query_only_rewrites_where(self):
+        from repro.core.plan import canonical_query
+
+        query = parse_query(
+            "SELECT a, COUNT(*) as c FROM t WHERE b = 2 AND a = 1 "
+            "GROUP BY a ORDER BY c DESC LIMIT 5"
+        )
+        canonical = canonical_query(query)
+        assert canonical.where.sql() == "((a = 1) AND (b = 2))"
+        assert [item.expr.sql() for item in canonical.select] == [
+            item.expr.sql() for item in query.select
+        ]
+        assert canonical.limit == query.limit
+
+    def test_where_conjuncts(self):
+        from repro.core.plan import where_conjuncts
+
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE b = 2 AND a IN (3, 1)"
+        )
+        assert where_conjuncts(query) == ("(a IN (1, 3))", "(b = 2)")
+        assert where_conjuncts(parse_query("SELECT a FROM t")) == ()
+
+    def test_conjunct_sets_nest_for_refinements(self):
+        from repro.core.plan import where_conjuncts
+
+        parent = frozenset(
+            where_conjuncts(
+                parse_query("SELECT COUNT(*) FROM t WHERE a = 1")
+            )
+        )
+        child = frozenset(
+            where_conjuncts(
+                parse_query(
+                    "SELECT COUNT(*) FROM t WHERE b IN (2, 3) AND a = 1"
+                )
+            )
+        )
+        assert parent < child

@@ -1315,3 +1315,118 @@ class TestEngine:
     def test_syntax_error_raises_analysis_error(self, tmp_path):
         with pytest.raises(AnalysisError):
             lint_snippet(tmp_path, "def broken(:\n")
+
+
+class TestUnboundedServiceQueue:
+    # REP019 is scoped to repro/service/* — the snippets must carry a
+    # service/ path for the only_dirs match to apply.
+
+    def test_unbounded_queue_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import queue
+
+            def build():
+                return queue.Queue()
+            """,
+            rel_path="service/scheduler.py",
+            select=["REP019"],
+        )
+        assert report.codes() == {"REP019"}
+        assert "maxsize" in report.findings[0].message
+
+    def test_zero_maxsize_is_unbounded(self, tmp_path):
+        # The stdlib spells "infinite" as maxsize<=0; that spelling is
+        # exactly what the rule exists to reject.
+        report = lint_snippet(
+            tmp_path,
+            """
+            import queue
+
+            def build():
+                return queue.Queue(maxsize=0)
+            """,
+            rel_path="service/scheduler.py",
+            select=["REP019"],
+        )
+        assert report.codes() == {"REP019"}
+
+    def test_unbounded_deque_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from collections import deque
+
+            def build():
+                return deque()
+            """,
+            rel_path="service/cache.py",
+            select=["REP019"],
+        )
+        assert report.codes() == {"REP019"}
+        assert "maxlen" in report.findings[0].message
+
+    def test_simple_queue_always_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import queue
+
+            def build():
+                return queue.SimpleQueue()
+            """,
+            rel_path="service/service.py",
+            select=["REP019"],
+        )
+        assert report.codes() == {"REP019"}
+        assert "SimpleQueue" in report.findings[0].message
+
+    def test_bounded_constructions_allowed(self, tmp_path):
+        # Literal bounds, plumbed (non-literal) bounds, and the
+        # positional deque(iterable, maxlen) spelling all pass.
+        report = lint_snippet(
+            tmp_path,
+            """
+            import queue
+            from collections import deque
+
+            def build(depth):
+                a = queue.Queue(maxsize=depth)
+                b = queue.Queue(8)
+                c = deque(maxlen=depth)
+                d = deque([], 16)
+                return a, b, c, d
+            """,
+            rel_path="service/scheduler.py",
+            select=["REP019"],
+        )
+        assert report.ok
+
+    def test_other_modules_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from collections import deque
+
+            def build():
+                return deque()
+            """,
+            rel_path="core/executor.py",
+            select=["REP019"],
+        )
+        assert report.ok
+
+    def test_suppression_with_reason_honoured(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from collections import deque
+
+            def build():
+                return deque()  # reprolint: disable=REP019 -- drained synchronously before return
+            """,
+            rel_path="service/scheduler.py",
+            select=["REP019"],
+        )
+        assert report.ok

@@ -154,3 +154,57 @@ class TestQueryResult:
         assert result.rows() == [("b",), ("a",)]
         assert result.sorted_rows() == [("a",), ("b",)]
         assert result.column_names == ["a"]
+
+
+class TestContentFingerprint:
+    PARENT = (
+        "SELECT country, COUNT(*) as c FROM data "
+        "GROUP BY country ORDER BY c DESC LIMIT 10;"
+    )
+
+    def test_identical_results_match(self, log_store, basic_store):
+        # Same answer computed by two differently-laid-out stores: the
+        # content fingerprint sees through chunking and row order.
+        a = log_store.execute(self.PARENT)
+        b = basic_store.execute(self.PARENT)
+        assert a.content_fingerprint() == b.content_fingerprint()
+        assert a.content_equal(b)
+
+    def test_different_results_differ(self, log_store):
+        a = log_store.execute(self.PARENT)
+        b = log_store.execute(self.PARENT.replace("LIMIT 10", "LIMIT 3"))
+        assert a.content_fingerprint() != b.content_fingerprint()
+        assert not a.content_equal(b)
+
+    def test_value_types_are_distinguished(self, log_store):
+        # 1 and "1" must not collide: the fingerprint hashes the value
+        # type alongside its repr.
+        a = log_store.execute("SELECT COUNT(*) as c FROM data")
+        count = a.rows()[0][0]
+        assert isinstance(count, int)
+        fingerprint = a.content_fingerprint()
+        assert fingerprint == a.content_fingerprint()  # stable
+        b = log_store.execute("SELECT MIN(country) as c FROM data")
+        assert fingerprint != b.content_fingerprint()
+
+
+class TestActiveChunks:
+    def test_recorded_and_sound(self, log_store):
+        result = log_store.execute(
+            "SELECT COUNT(*) FROM data WHERE country IN ('FI', 'US')"
+        )
+        active = result.stats.active_chunks
+        assert active == tuple(sorted(set(active)))
+        assert len(active) + 0 < log_store.n_chunks  # skipping happened
+        # active + skipped partitions the chunk set by row accounting.
+        assert (
+            result.stats.rows_total
+            == result.stats.rows_skipped
+            + result.stats.rows_cached
+            + result.stats.rows_scanned
+        )
+
+    def test_merge_unions_footprints(self):
+        a = ScanStats(rows_total=10, active_chunks=(0, 2))
+        b = ScanStats(rows_total=10, active_chunks=(1, 2))
+        assert a.merge(b).active_chunks == (0, 1, 2)

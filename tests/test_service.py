@@ -1,0 +1,524 @@
+"""Serving-layer tests: semantic cache, fair scheduler, QueryService.
+
+The soundness arguments the serving layer leans on are proved at the
+engine level (``candidate_chunks`` pruning is bit-identical; see
+test_datastore/test_plan); here we test the layer itself: cache reuse
+paths, admission and shedding, smooth-WRR fairness (as a hypothesis
+property), shutdown semantics, and the poisoned-tenant isolation
+guarantee under the supervised process executor.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.datastore import DataStore, DataStoreOptions
+from repro.core.plan import query_fingerprint, where_conjuncts
+from repro.distributed import ClusterConfig, SimulatedCluster
+from repro.errors import ServiceError
+from repro.monitoring import percentile
+from repro.service import (
+    FairScheduler,
+    FootprintIndex,
+    QueryCompleted,
+    QueryFailed,
+    QueryRejected,
+    QueryService,
+    SemanticResultCache,
+    ServiceConfig,
+    estimate_result_weight,
+    live_services,
+)
+from repro.sql.parser import parse_query
+
+PARENT_SQL = (
+    "SELECT country, COUNT(*) as c FROM data "
+    "WHERE latency > 100 GROUP BY country ORDER BY c DESC LIMIT 10;"
+)
+CHILD_SQL = (
+    "SELECT country, COUNT(*) as c FROM data "
+    "WHERE latency > 100 AND country IN ('FI', 'US') "
+    "GROUP BY country ORDER BY c DESC LIMIT 10;"
+)
+
+
+def _keys(sql: str) -> tuple[str, frozenset]:
+    query = parse_query(sql)
+    return query_fingerprint(query), frozenset(where_conjuncts(query))
+
+
+# -- semantic result cache ------------------------------------------------------
+
+
+class TestFootprintIndex:
+    def test_exact_and_subset_lookup(self):
+        index = FootprintIndex(max_entries=8)
+        index.record(frozenset({"a"}), (0, 1, 2, 3))
+        assert index.lookup(frozenset({"a"})) == (0, 1, 2, 3)
+        # A refinement (superset of conjuncts) is covered by the parent.
+        assert index.lookup(frozenset({"a", "b"})) == (0, 1, 2, 3)
+        # An unrelated conjunct set is not.
+        assert index.lookup(frozenset({"c"})) is None
+
+    def test_smallest_covering_footprint_wins(self):
+        index = FootprintIndex(max_entries=8)
+        index.record(frozenset(), (0, 1, 2, 3, 4))
+        index.record(frozenset({"a"}), (1, 2))
+        assert index.lookup(frozenset({"a", "b"})) == (1, 2)
+
+    def test_re_record_keeps_tighter_footprint(self):
+        # A pruned re-execution reports a subset footprint; recording
+        # the parent again afterwards must not widen it back.
+        index = FootprintIndex(max_entries=8)
+        index.record(frozenset({"a"}), (1, 2))
+        index.record(frozenset({"a"}), (1, 2, 3, 4))
+        assert index.lookup(frozenset({"a"})) == (1, 2)
+
+    def test_bounded(self):
+        index = FootprintIndex(max_entries=3)
+        for i in range(10):
+            index.record(frozenset({f"c{i}"}), (i,))
+        assert len(index) == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServiceError):
+            FootprintIndex(max_entries=0)
+
+
+class TestSemanticResultCache:
+    def test_miss_admit_hit(self, log_store):
+        cache = SemanticResultCache(capacity_bytes=1 << 20)
+        fingerprint, conjuncts = _keys(PARENT_SQL)
+        assert cache.lookup(fingerprint, conjuncts) == (None, None)
+        result = log_store.execute(PARENT_SQL)
+        cache.admit(fingerprint, conjuncts, result)
+        cached, footprint = cache.lookup(fingerprint, conjuncts)
+        assert cached is result
+        assert footprint is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_subsumption_footprint_for_refinement(self, log_store):
+        cache = SemanticResultCache(capacity_bytes=1 << 20)
+        parent_fp, parent_conj = _keys(PARENT_SQL)
+        parent = log_store.execute(PARENT_SQL)
+        cache.admit(parent_fp, parent_conj, parent)
+        child_fp, child_conj = _keys(CHILD_SQL)
+        assert parent_conj < child_conj  # a genuine refinement
+        cached, footprint = cache.lookup(child_fp, child_conj)
+        assert cached is None
+        assert footprint == tuple(parent.stats.active_chunks)
+
+    def test_session_lineage_preferred(self, log_store):
+        cache = SemanticResultCache(capacity_bytes=1 << 20)
+        parent_fp, parent_conj = _keys(PARENT_SQL)
+        parent = log_store.execute(PARENT_SQL)
+        cache.admit(parent_fp, parent_conj, parent, session="s1")
+        child_fp, child_conj = _keys(CHILD_SQL)
+        __, via_session = cache.lookup(child_fp, child_conj, session="s1")
+        __, via_global = cache.lookup(child_fp, child_conj, session="other")
+        assert via_session == via_global == tuple(parent.stats.active_chunks)
+
+    def test_incomplete_results_never_admitted(self, log_store):
+        from dataclasses import replace
+
+        cache = SemanticResultCache(capacity_bytes=1 << 20)
+        fingerprint, conjuncts = _keys(PARENT_SQL)
+        result = log_store.execute(PARENT_SQL)
+        degraded = replace(
+            result,
+            stats=replace(result.stats, rows_unserved=5),
+            complete=False,
+            row_coverage=0.9,
+        )
+        assert not degraded.complete
+        cache.admit(fingerprint, conjuncts, degraded)
+        assert cache.lookup(fingerprint, conjuncts) == (None, None)
+
+    def test_byte_weighted_eviction(self, log_store):
+        result = log_store.execute(PARENT_SQL)
+        weight = estimate_result_weight(result)
+        cache = SemanticResultCache(capacity_bytes=weight * 2.5)
+        for i in range(8):
+            fingerprint, conjuncts = _keys(
+                PARENT_SQL.replace("100", str(100 + i))
+            )
+            cache.admit(fingerprint, conjuncts, result)
+        stats = cache.stats()
+        assert stats["entries"] <= 2
+        assert stats["evictions"] > 0
+        assert stats["used_bytes"] <= weight * 2.5
+
+    def test_concurrent_probes_consistent(self, log_store):
+        cache = SemanticResultCache(capacity_bytes=1 << 20)
+        result = log_store.execute(PARENT_SQL)
+        variants = [
+            _keys(PARENT_SQL.replace("100", str(100 + i))) for i in range(4)
+        ]
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for step in range(200):
+                    fingerprint, conjuncts = variants[(seed + step) % 4]
+                    cache.lookup(fingerprint, conjuncts, session=seed)
+                    cache.admit(fingerprint, conjuncts, result, session=seed)
+            except BaseException as exc:  # propagated to the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        stats = cache.stats()
+        probes = stats["hits"] + stats["subsumption_probes"] + stats["misses"]
+        assert probes == 6 * 200
+
+
+# -- fair scheduler -------------------------------------------------------------
+
+
+class TestFairScheduler:
+    def test_offer_sheds_at_depth(self):
+        scheduler = FairScheduler(queue_depth=2)
+        assert scheduler.offer("t", 1)
+        assert scheduler.offer("t", 2)
+        assert not scheduler.offer("t", 3)
+        assert scheduler.backlog() == 2
+
+    def test_take_empty_times_out(self):
+        scheduler = FairScheduler()
+        assert scheduler.take(0.01) is None
+
+    def test_inflight_cap_blocks_tenant(self):
+        scheduler = FairScheduler(queue_depth=8, max_inflight_per_tenant=1)
+        scheduler.offer("t", 1)
+        scheduler.offer("t", 2)
+        assert scheduler.take(0.0) == ("t", 1)
+        # The tenant is at its cap: nothing is eligible.
+        assert scheduler.take(0.0) is None
+        scheduler.complete("t")
+        assert scheduler.take(0.0) == ("t", 2)
+
+    def test_unmatched_complete_raises(self):
+        scheduler = FairScheduler()
+        with pytest.raises(ServiceError):
+            scheduler.complete("nobody")
+
+    def test_close_sheds_new_offers_and_drains(self):
+        scheduler = FairScheduler()
+        scheduler.offer("a", 1)
+        scheduler.offer("b", 2)
+        scheduler.close()
+        assert not scheduler.offer("a", 3)
+        assert list(scheduler.drain()) == [("a", 1), ("b", 2)]
+        assert scheduler.backlog() == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServiceError):
+            FairScheduler(queue_depth=0)
+        with pytest.raises(ServiceError):
+            FairScheduler(max_inflight_per_tenant=0)
+        with pytest.raises(ServiceError):
+            FairScheduler().set_weight("t", 0)
+
+    @given(
+        weights=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+        rounds=st.integers(1, 4),
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_smooth_wrr_fairness_property(self, weights, rounds):
+        """Backlogged tenants are served proportionally to weight.
+
+        Smooth WRR's guarantees, checked exactly: over any full cycle
+        of ``sum(weights)`` picks each tenant is picked exactly
+        ``weight`` times, and in *every prefix* tenant ``t``'s share
+        deviates from ``n * w_t / W`` by less than 2 (empirically the
+        scheme stays within ~1.04; 2 leaves margin without weakening
+        the starvation bound the service relies on).
+        """
+        total_weight = sum(weights)
+        total_picks = total_weight * rounds
+        scheduler = FairScheduler(
+            queue_depth=total_picks,
+            max_inflight_per_tenant=total_picks + 1,
+        )
+        names = [f"t{i}" for i in range(len(weights))]
+        for name, weight in zip(names, weights):
+            scheduler.set_weight(name, weight)
+            for item in range(weight * rounds):
+                assert scheduler.offer(name, item)
+        counts = dict.fromkeys(names, 0)
+        for picked_so_far in range(1, total_picks + 1):
+            picked = scheduler.take(0.0)
+            assert picked is not None
+            counts[picked[0]] += 1
+            for name, weight in zip(names, weights):
+                expected = picked_so_far * weight / total_weight
+                assert abs(counts[name] - expected) < 2.0
+        for name, weight in zip(names, weights):
+            assert counts[name] == weight * rounds
+
+
+# -- the service end to end -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_store(log_table) -> DataStore:
+    return DataStore.from_table(
+        log_table,
+        DataStoreOptions(
+            partition_fields=("country", "table_name"),
+            max_chunk_rows=200,
+            reorder_rows=True,
+        ),
+    )
+
+
+class _BlockingBackend:
+    """A cluster-shaped backend whose execute() waits for a release."""
+
+    def __init__(self, store: DataStore) -> None:
+        self.store = store
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def execute(self, query):
+        self.started.set()
+        if not self.release.wait(30.0):
+            raise ServiceError("blocking backend was never released")
+        return self.store.execute(query), None
+
+
+class TestQueryService:
+    def test_cache_paths_and_bit_identity(self, serve_store):
+        with QueryService(serve_store, ServiceConfig(workers=2)) as service:
+            miss = service.run("acme", PARENT_SQL, session="s1")
+            hit = service.run("acme", PARENT_SQL, session="s1")
+            refined = service.run("acme", CHILD_SQL, session="s1")
+        assert isinstance(miss, QueryCompleted) and miss.cache_path == "miss"
+        assert isinstance(hit, QueryCompleted) and hit.cache_path == "hit"
+        assert isinstance(refined, QueryCompleted)
+        assert refined.cache_path == "subsumption"
+        # Served answers are content-identical to direct execution.
+        assert miss.result.content_equal(serve_store.execute(PARENT_SQL))
+        assert refined.result.content_equal(serve_store.execute(CHILD_SQL))
+        # The subsumed rescan really pruned: it visited no chunk
+        # outside the parent's footprint.
+        assert set(refined.result.stats.active_chunks) <= set(
+            miss.result.stats.active_chunks
+        )
+
+    def test_admission_sheds_exactly_beyond_depth(self, serve_store):
+        backend = _BlockingBackend(serve_store)
+        config = ServiceConfig(
+            workers=1, queue_depth=2, max_inflight_per_tenant=1
+        )
+        with QueryService(backend, config) as service:
+            # One query occupies the (blocked) engine; queue_depth more
+            # sit in the tenant queue; everything past that is shed.
+            first = service.submit("acme", PARENT_SQL)
+            assert backend.started.wait(10.0)  # now in-flight, blocked
+            tickets = [first] + [
+                service.submit("acme", PARENT_SQL) for __ in range(5)
+            ]
+            shed = [t for t in tickets if t.done()]
+            assert len(shed) == 3
+            for ticket in shed:
+                outcome = ticket.outcome(1.0)
+                assert isinstance(outcome, QueryRejected)
+                assert outcome.reason == "tenant queue full"
+            backend.release.set()
+            served = [
+                t.outcome(30.0) for t in tickets if t not in shed
+            ]
+            assert all(isinstance(o, QueryCompleted) for o in served)
+        counts = service.stats()["counts"]
+        assert counts["submitted"] == 6
+        assert counts["completed"] == 3
+        assert counts["rejected"] == 3
+
+    def test_engine_error_becomes_query_failed(self, serve_store):
+        with QueryService(serve_store) as service:
+            outcome = service.run("acme", "SELECT nosuch FROM data")
+        assert isinstance(outcome, QueryFailed)
+        assert "nosuch" in outcome.error
+
+    def test_close_rejects_backlog_and_stops_threads(self, serve_store):
+        backend = _BlockingBackend(serve_store)
+        config = ServiceConfig(
+            workers=1, queue_depth=4, max_inflight_per_tenant=1
+        )
+        service = QueryService(backend, config)
+        tickets = [service.submit("acme", PARENT_SQL) for __ in range(3)]
+        backend.release.set()  # let the in-flight query finish
+        service.close()
+        outcomes = [ticket.outcome(5.0) for ticket in tickets]
+        rejected = [o for o in outcomes if isinstance(o, QueryRejected)]
+        assert all(o.reason == "service shutdown" for o in rejected)
+        assert len(rejected) == sum(
+            1 for o in outcomes if not isinstance(o, QueryCompleted)
+        )
+        assert not any(t.is_alive() for t in service.worker_threads())
+        assert service not in live_services()
+        service.close()  # idempotent
+        with pytest.raises(ServiceError):
+            service.submit("acme", PARENT_SQL)
+
+    def test_result_cache_can_be_disabled(self, serve_store):
+        config = ServiceConfig(enable_result_cache=False)
+        with QueryService(serve_store, config) as service:
+            first = service.run("acme", PARENT_SQL)
+            second = service.run("acme", PARENT_SQL)
+            assert "cache" not in service.stats()
+        assert first.cache_path == second.cache_path == "miss"
+
+    def test_stats_shape(self, serve_store):
+        with QueryService(serve_store) as service:
+            service.run("acme", PARENT_SQL)
+            snapshot = service.stats()
+        assert snapshot["counts"]["completed"] == 1
+        assert snapshot["latency"]["p50"] > 0
+        assert snapshot["windowed_latency"]["window"] == 1
+        assert snapshot["backlog"] == 0
+        assert snapshot["cache"]["misses"] == 1
+
+    def test_config_validation(self):
+        for bad in (
+            dict(workers=0),
+            dict(queue_depth=0),
+            dict(max_inflight_per_tenant=0),
+            dict(default_weight=0),
+            dict(cache_capacity_bytes=0),
+            dict(dispatch_poll_seconds=0),
+            dict(shutdown_timeout_seconds=0),
+        ):
+            with pytest.raises(ServiceError):
+                ServiceConfig(**bad)
+
+    def test_serving_over_simulated_cluster(self, log_table):
+        cluster = SimulatedCluster.build(
+            log_table,
+            n_shards=3,
+            store_options=DataStoreOptions(
+                partition_fields=("country", "table_name"),
+                max_chunk_rows=300,
+                reorder_rows=True,
+            ),
+            config=ClusterConfig(n_machines=4, seed=11),
+        )
+        try:
+            direct, __ = cluster.execute(PARENT_SQL)
+            with QueryService(cluster, ServiceConfig(workers=2)) as service:
+                miss = service.run("acme", PARENT_SQL)
+                hit = service.run("acme", PARENT_SQL)
+            assert miss.cache_path == "miss"
+            # Exact canonical-plan reuse works over the cluster; the
+            # subsumption path (store-only) must never engage.
+            assert hit.cache_path == "hit"
+            assert miss.result.content_equal(direct)
+        finally:
+            cluster.close()
+
+
+class TestPoisonedTenantFairness:
+    """One hot-looping heavy tenant cannot starve a well-behaved one.
+
+    The isolation argument: the poisoner's flood lands in its *own*
+    bounded queue (excess is shed at admission), WRR alternates picks
+    between the two tenants, and the in-flight cap keeps the poisoner
+    from occupying every engine slot — so a victim query waits behind
+    at most a bounded number of heavy queries, and its p95 is bounded
+    by its solo baseline plus that queueing term. Run under the
+    supervised process executor, the strategy production serving uses.
+    """
+
+    HEAVY_SQL = (
+        "SELECT table_name, COUNT(*) as c, SUM(latency) as s FROM data "
+        "GROUP BY table_name ORDER BY c DESC LIMIT 50;"
+    )
+    LIGHT_SQL = (
+        "SELECT country, COUNT(*) as c FROM data "
+        "WHERE country IN ('FI', 'US') GROUP BY country "
+        "ORDER BY c DESC LIMIT 5;"
+    )
+    VICTIM_QUERIES = 8
+
+    def _victim_latencies(self, service) -> list[float]:
+        latencies = []
+        for __ in range(self.VICTIM_QUERIES):
+            outcome = service.run("victim", self.LIGHT_SQL, timeout=120.0)
+            assert isinstance(outcome, QueryCompleted)
+            latencies.append(outcome.total_seconds)
+        return sorted(latencies)
+
+    def test_victim_p95_bounded_under_attack(self, log_table):
+        store = DataStore.from_table(
+            log_table,
+            DataStoreOptions(
+                partition_fields=("country", "table_name"),
+                max_chunk_rows=500,
+                reorder_rows=True,
+                executor="process",
+            ),
+        )
+        # The cache would absorb the poison (identical heavy queries
+        # become hits); disable it so every query pays the engine.
+        config = ServiceConfig(
+            workers=2,
+            queue_depth=4,
+            max_inflight_per_tenant=1,
+            enable_result_cache=False,
+        )
+        try:
+            with QueryService(store, config) as service:
+                solo = self._victim_latencies(service)
+                heavy_solo = [
+                    service.run(
+                        "poisoner", self.HEAVY_SQL, timeout=120.0
+                    ).total_seconds
+                    for __ in range(3)
+                ]
+                stop = threading.Event()
+
+                def poison() -> None:
+                    while not stop.is_set():
+                        # Fire-and-forget flood; most offers are shed
+                        # at admission (queue_depth=4), which is the
+                        # mechanism under test.
+                        service.submit("poisoner", self.HEAVY_SQL)
+
+                attacker = threading.Thread(target=poison, daemon=True)
+                attacker.start()
+                try:
+                    attacked = self._victim_latencies(service)
+                finally:
+                    stop.set()
+                    attacker.join(30.0)
+                counts = service.stats()["counts"]
+        finally:
+            store.executor.close()
+        # The flood was actually shed (the poisoner really flooded).
+        assert counts["rejected"] > 0
+        # Fairness bound: a victim query waits behind at most the
+        # engine's in-flight heavy work plus one WRR turn. Allow 3
+        # heavy-query terms of slack on top of the solo baseline
+        # (generous for CI noise on a 1-CPU box, but still a *bound*:
+        # an unfair scheduler would queue the victim behind the
+        # poisoner's whole backlog, growing without limit).
+        solo_p95 = percentile(solo, 0.95)
+        attacked_p95 = percentile(attacked, 0.95)
+        heavy_term = max(heavy_solo)
+        assert attacked_p95 <= 3.0 * solo_p95 + 3.0 * heavy_term + 0.5, (
+            solo_p95,
+            attacked_p95,
+            heavy_term,
+        )

@@ -152,3 +152,104 @@ class TestDrillDownSessions:
                 skipped += stats.rows_skipped + stats.rows_cached
                 total += stats.rows_total
         assert skipped / total > 0.5
+
+
+class TestDrillDownSessionGroups:
+    # The invariants the serving layer's subsumption reuse relies on.
+
+    def test_flat_view_is_concatenation(self, log_table):
+        from repro.workload.queries import generate_drilldown_session_groups
+
+        config = DrillDownConfig(
+            n_sessions=3, clicks_per_session=3, queries_per_click=2, seed=4
+        )
+        groups = generate_drilldown_session_groups(log_table, config)
+        assert len(groups) == 3
+        assert all(len(session) == 3 for session in groups)
+        flat = generate_drilldown_sessions(log_table, config)
+        assert flat == [click for session in groups for click in session]
+
+    def test_refinement_property(self, log_table):
+        # Each click's canonical conjunct set contains its parent's:
+        # exactly the subsumption precondition (child WHERE = parent
+        # AND extra), checked on the parsed plan, not string counts.
+        from repro.core.plan import where_conjuncts
+        from repro.sql.parser import parse_query
+        from repro.workload.queries import generate_drilldown_session_groups
+
+        groups = generate_drilldown_session_groups(
+            log_table,
+            DrillDownConfig(
+                n_sessions=6, clicks_per_session=4, queries_per_click=1
+            ),
+        )
+        strict = transitions = 0
+        for session in groups:
+            conjunct_sets = [
+                frozenset(where_conjuncts(parse_query(click[0])))
+                for click in session
+            ]
+            for parent, child in zip(conjunct_sets, conjunct_sets[1:]):
+                assert parent <= child
+                transitions += 1
+                strict += parent < child
+        # Clicks past the first always add an IN restriction; ties can
+        # only come from re-sampling an identical conjunct.
+        assert strict >= transitions * 0.9
+
+    def test_queries_within_click_share_where(self, log_table):
+        from repro.core.plan import where_conjuncts
+        from repro.sql.parser import parse_query
+        from repro.workload.queries import generate_drilldown_session_groups
+
+        groups = generate_drilldown_session_groups(
+            log_table,
+            DrillDownConfig(
+                n_sessions=2, clicks_per_session=2, queries_per_click=5
+            ),
+        )
+        for session in groups:
+            for click in session:
+                wheres = {
+                    frozenset(where_conjuncts(parse_query(sql)))
+                    for sql in click
+                }
+                assert len(wheres) == 1
+
+
+class TestTenantMix:
+    def test_zipf_weights_shape(self):
+        from repro.workload.benchserve import zipf_tenant_weights
+
+        weights = zipf_tenant_weights(6, 1.2)
+        assert len(weights) == 6
+        assert weights == sorted(weights, reverse=True)
+        assert sum(weights) == pytest.approx(1.0)
+        # s controls the skew; s=0 is uniform.
+        assert zipf_tenant_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_assignment_deterministic_and_zipfian(self):
+        from collections import Counter
+
+        from repro.workload.benchserve import (
+            TenantMixConfig,
+            assign_sessions_to_tenants,
+        )
+
+        mix = TenantMixConfig(n_tenants=5, zipf_s=1.2, seed=3)
+        labels = assign_sessions_to_tenants(400, mix)
+        assert labels == assign_sessions_to_tenants(400, mix)
+        assert set(labels) <= {f"tenant-{r:02d}" for r in range(5)}
+        counts = Counter(labels)
+        # Rank 0 dominates and the head outweighs the tail — the
+        # Zipfian shape, asserted loosely (it is a random draw).
+        assert counts["tenant-00"] == max(counts.values())
+        assert counts["tenant-00"] > len(labels) * 0.3
+
+    def test_invalid_mix(self):
+        from repro.workload.benchserve import TenantMixConfig
+
+        with pytest.raises(ReproError):
+            TenantMixConfig(n_tenants=0)
+        with pytest.raises(ReproError):
+            TenantMixConfig(zipf_s=-1.0)
